@@ -1,0 +1,117 @@
+"""Ablations of LongSight's design choices (DESIGN.md checklist).
+
+Each ablation switches off one mechanism the paper argues for and shows
+the cost, using the analytical models:
+
+- dense window size (the hybrid design's staging/overlap benefit),
+- top-k size vs CXL pressure (Section 8.1.3's k-tuning rationale),
+- channel interleaving of Key Objects (Section 7.3.3),
+- value-read/compute overlap at saturation (Section 9.2).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+from repro.bench.tables import Table
+from repro.core.config import LongSightConfig
+from repro.drex.dram import LPDDR5X
+from repro.llm.config import LLAMA3_8B
+from repro.system.engine import LongSightSystem
+
+CONTEXT = 262144
+
+
+def test_ablation_window_size(benchmark, report):
+    """Bigger dense windows shift work from DReX/CXL back to the GPU."""
+
+    def run():
+        table = Table(
+            "Ablation: dense window size (llama-3-8b, 256K ctx, max users)",
+            ["window", "max_users", "throughput_tps", "latency_ms",
+             "bottleneck"])
+        for window in (128, 512, 1024, 4096, 16384):
+            engine = LongSightSystem(LongSightConfig(
+                window=window, n_sink=16, top_k=1024, use_itq=True))
+            users = engine.max_users(LLAMA3_8B, CONTEXT)
+            point = engine.evaluate(LLAMA3_8B, CONTEXT, users)
+            table.add_row(window=window, max_users=users,
+                          throughput_tps=point.throughput_tps,
+                          latency_ms=point.token_latency_s * 1e3,
+                          bottleneck=engine.bottleneck(LLAMA3_8B, CONTEXT,
+                                                       users))
+        return table
+
+    table = run_once(benchmark, run)
+    report(table)
+    assert len({row["bottleneck"] for row in table.rows}) >= 1
+
+
+def test_ablation_top_k(benchmark, report):
+    """Section 8.1.3: large k + high filter ratio bottlenecks CXL."""
+
+    def run():
+        table = Table(
+            "Ablation: top-k size (llama-3-8b, 256K ctx, max users)",
+            ["top_k", "throughput_tps", "cxl_ms_per_token",
+             "drex_ms_per_token"])
+        for k in (128, 256, 512, 1024):
+            engine = LongSightSystem(LongSightConfig(
+                window=1024, n_sink=16, top_k=k, use_itq=True))
+            users = engine.max_users(LLAMA3_8B, CONTEXT)
+            point = engine.evaluate(LLAMA3_8B, CONTEXT, users)
+            table.add_row(top_k=k, throughput_tps=point.throughput_tps,
+                          cxl_ms_per_token=point.breakdown["cxl_s"] * 1e3,
+                          drex_ms_per_token=point.breakdown["drex_s"] * 1e3)
+        return table
+
+    table = run_once(benchmark, run)
+    report(table)
+    cxl = [row["cxl_ms_per_token"] for row in table.rows]
+    assert cxl == sorted(cxl)  # CXL pressure grows with k
+
+
+def test_ablation_channel_interleaving(benchmark, report):
+    """Section 7.3.3: without interleaving, survivor reads hit one channel
+    and the scoring stream slows ~8x."""
+
+    def run():
+        table = Table(
+            "Ablation: Key Object channel interleaving (one offload's "
+            "scoring stream)",
+            ["survivors", "interleaved_us", "single_channel_us", "slowdown"])
+        for survivors in (1000, 10000, 50000):
+            n_bytes = survivors * 128 * 2
+            fast = LPDDR5X.stream_ns(n_bytes, 8) / 1e3
+            slow = LPDDR5X.stream_ns(n_bytes, 1) / 1e3
+            table.add_row(survivors=survivors, interleaved_us=fast,
+                          single_channel_us=slow, slowdown=slow / fast)
+        return table
+
+    table = run_once(benchmark, run)
+    report(table)
+    assert all(row["slowdown"] == pytest.approx(8.0) for row in table.rows)
+
+
+def test_ablation_value_read_overlap(benchmark, report):
+    """Section 9.2: overlapping value reads with queued dot-products."""
+
+    def run():
+        engine = LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                                 top_k=1024, use_itq=True))
+        table = Table(
+            "Ablation: value-read overlap at saturation (llama-3-8b)",
+            ["context", "additive_us", "overlapped_us", "saved_pct"])
+        for context in (32768, 262144, 1048576):
+            single = engine.single_offload_breakdown(LLAMA3_8B, context)
+            saturated = engine.saturated_offload_breakdown(LLAMA3_8B, context)
+            additive = sum(single.values())
+            overlapped = sum(saturated.values())
+            table.add_row(context=context, additive_us=additive / 1e3,
+                          overlapped_us=overlapped / 1e3,
+                          saved_pct=(1 - overlapped / additive) * 100)
+        return table
+
+    table = run_once(benchmark, run)
+    report(table)
+    assert all(row["saved_pct"] >= 0 for row in table.rows)

@@ -1,0 +1,17 @@
+"""Section 5.4: sparsity vs DynaX at a 1% perplexity budget."""
+
+from benchmarks.conftest import run_once
+
+from repro.bench.dynax import run_dynax
+
+
+def test_dynax_comparison(benchmark, report):
+    table = run_once(benchmark, lambda: run_dynax("llama-3-8b"))
+    report(table)
+    repro_row = next(r for r in table.rows
+                     if r["system"] == "LongSight (this repro)")
+    # The shape to preserve: substantial sparsity under a tight (1%)
+    # quality budget.  Absolute sparsity is lower than the paper's 91.9%:
+    # the miniature's 32-dim heads give the sign filter far fewer bits of
+    # resolution than Llama-3-8B's 128-dim heads (see EXPERIMENTS.md).
+    assert repro_row["sparsity_pct"] > 30.0

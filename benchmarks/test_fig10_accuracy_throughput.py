@@ -1,0 +1,26 @@
+"""Figure 10: accuracy vs normalized throughput, LongSight vs sliding window."""
+
+from benchmarks.conftest import run_once
+
+from repro.bench.fig10 import run_fig10
+
+
+def test_fig10(benchmark, report):
+    table = run_once(benchmark, lambda: run_fig10("llama-3-1b", "PG"))
+    report(table)
+    ls_rows = [r for r in table.rows if r["config"].startswith("LongSight")]
+    sw_rows = [r for r in table.rows
+               if r["config"].startswith("SlidingWindow")]
+    assert ls_rows and sw_rows
+    # Structural checks that hold at miniature scale: LongSight reaches
+    # high accuracy (>= 0.97 of dense) at a genuine speedup over dense.
+    # NOTE: the paper's Pareto *expansion over sliding window* does not
+    # reproduce here — the synthetic corpus + miniature models lose too
+    # little quality to window truncation for sparse retrieval to beat a
+    # wider window; see EXPERIMENTS.md ("Caveats", item on Fig. 10).
+    assert any(r["accuracy_vs_dense"] >= 0.97
+               and r["normalized_throughput"] > 1.0 for r in ls_rows)
+    # Window shrinking does trade accuracy for throughput (a real
+    # frontier exists on the baseline side too).
+    accs = sorted(r["accuracy_vs_dense"] for r in sw_rows)
+    assert accs[0] < accs[-1]

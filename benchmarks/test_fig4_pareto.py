@@ -1,0 +1,15 @@
+"""Figure 4: accuracy vs filter-ratio Pareto frontier."""
+
+from benchmarks.conftest import run_once
+
+from repro.bench.fig4 import run_fig4
+
+
+def test_fig4(benchmark, report):
+    table = run_once(benchmark, lambda: run_fig4("llama-3-1b", "PG"))
+    report(table)
+    frontier = [r for r in table.rows if r["on_frontier"] == "yes"]
+    assert frontier
+    # The frontier must span a range of filter ratios (a real trade-off).
+    ratios = [r["filter_ratio"] for r in table.rows]
+    assert max(ratios) > 2 * min(ratios)

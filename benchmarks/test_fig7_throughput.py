@@ -1,0 +1,45 @@
+"""Figure 7: decode throughput & per-token latency across systems."""
+
+from benchmarks.conftest import run_once
+
+from repro.bench.fig7 import headline_speedups, run_fig7
+from repro.bench.tables import Table
+from repro.llm.config import LLAMA3_1B, LLAMA3_8B
+
+
+def test_fig7(benchmark, report):
+    table = run_once(benchmark, run_fig7)
+    report(table)
+    rows = {(r["model"], r["context"], r["system"]): r for r in table.rows}
+    # LongSight serves 1M tokens on one GPU; 8B dense cannot.
+    assert rows[("llama-3-8b", 1048576, "1-GPU")]["throughput_tps"] is None
+    assert rows[("llama-3-8b", 1048576, "LongSight")]["throughput_tps"] > 0
+    # Crossover: dense/AttAcc win short contexts, LongSight wins long.
+    assert rows[("llama-3-1b", 8192, "2-GPU")]["throughput_tps"] > \
+        rows[("llama-3-1b", 8192, "LongSight")]["throughput_tps"]
+    assert rows[("llama-3-1b", 524288, "LongSight")]["throughput_tps"] > \
+        rows[("llama-3-1b", 524288, "2-GPU")]["throughput_tps"]
+
+
+def test_headline_speedup(benchmark, report):
+    """Section 9.1: 8.1-9.6x throughput, 3.6-11.9x per-user latency at the
+    max context a single GPU supports."""
+
+    def run():
+        table = Table(
+            "Section 9.1 headline: LongSight vs 1-GPU at max 1-GPU context",
+            ["model", "context", "throughput_ratio",
+             "per_user_latency_ratio", "paper_range"])
+        for config in (LLAMA3_1B, LLAMA3_8B):
+            h = headline_speedups(config)
+            table.add_row(model=config.name, context=h["context"],
+                          throughput_ratio=h["throughput_ratio"],
+                          per_user_latency_ratio=h["per_user_latency_ratio"],
+                          paper_range="8.1-9.6x tput / 3.6-11.9x lat")
+        return table
+
+    table = run_once(benchmark, run)
+    report(table)
+    for row in table.rows:
+        assert 4.0 <= row["throughput_ratio"] <= 20.0
+        assert 2.0 <= row["per_user_latency_ratio"] <= 20.0

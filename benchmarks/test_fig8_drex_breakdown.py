@@ -1,0 +1,23 @@
+"""Figure 8: latency breakdown inside a DReX offload."""
+
+from benchmarks.conftest import run_once
+
+from repro.bench.fig8 import run_fig8
+
+
+def test_fig8(benchmark, report):
+    table = run_once(benchmark, run_fig8)
+    report(table)
+    singles = {(r["model"], r["context"]): r for r in table.rows
+               if r["scenario"] == "single"}
+    # Short contexts: value loading over CXL dominates (Section 9.2).
+    short = singles[("llama-3-8b", 8192)]
+    assert short["value_read"] > short["score"]
+    # Long contexts: the dot-product phase grows to dominate.
+    long = singles[("llama-3-8b", 1048576)]
+    assert long["score"] > long["value_read"]
+    # Saturated scenario exposes less value-read time than single-user.
+    for row in table.rows:
+        if row["scenario"] == "saturated":
+            single = singles[(row["model"], row["context"])]
+            assert row["value_read"] <= single["value_read"] + 1e-9

@@ -1,0 +1,19 @@
+"""Figure 9: system-level latency breakdown for LongSight."""
+
+from benchmarks.conftest import run_once
+
+from repro.bench.fig9 import run_fig9
+
+
+def test_fig9(benchmark, report):
+    table = run_once(benchmark, run_fig9)
+    report(table)
+    # Few users -> GPU-bound regardless of context (Section 9.2).
+    single_user = [r for r in table.rows if r["users"] == 1]
+    assert single_user
+    assert all(r["bottleneck"] == "GPU" or r["context"] >= 524288
+               for r in single_user)
+    # Saturated short-context -> DReX/CXL-bound.
+    saturated_short = [r for r in table.rows
+                       if r["users"] > 1 and r["context"] <= 32768]
+    assert any(r["bottleneck"] in ("DReX", "CXL") for r in saturated_short)

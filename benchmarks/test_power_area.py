@@ -1,0 +1,15 @@
+"""Section 9.4: power and area."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+from repro.bench.spec_tables import run_power_area
+
+
+def test_power_area(benchmark, report):
+    table = run_once(benchmark, run_power_area)
+    report(table)
+    for row in table.rows:
+        if row["paper"] is not None:
+            assert row["value"] == pytest.approx(row["paper"], rel=0.01)

@@ -1,0 +1,11 @@
+"""Table 1: model parameters."""
+
+from benchmarks.conftest import run_once
+
+from repro.bench.spec_tables import run_table1
+
+
+def test_table1(benchmark, report):
+    table = run_once(benchmark, run_table1)
+    report(table)
+    assert len(table.rows) >= 5

@@ -1,0 +1,12 @@
+"""Table 2: system configuration."""
+
+from benchmarks.conftest import run_once
+
+from repro.bench.spec_tables import run_table2
+
+
+def test_table2(benchmark, report):
+    table = run_once(benchmark, run_table2)
+    report(table)
+    values = {(r["device"], r["field"]): r["value"] for r in table.rows}
+    assert values[("DReX", "PFUs")] == 8192

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Long-range quality probe: what sliding windows lose, LongSight keeps.
+
+The workload the paper's introduction motivates: a context whose distant
+tokens carry value.  On a synthetic long-form corpus with long-range copy
+structure, we compare full-document perplexity under three attentions:
+
+- dense (the quality ceiling, and the cost ceiling),
+- sliding window only (cheap, but blind beyond the window),
+- LongSight hybrid (window + SCF-filtered top-k over the distant region).
+
+The headline readout is the *recovered gap*: how much of the quality that
+window-only attention loses relative to dense does LongSight win back,
+and at what fraction of the dense KV accesses.
+
+Run:
+    python examples/needle_retrieval.py --context 3072
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench import algo
+from repro.core import (
+    FilterStats,
+    LongSightAttention,
+    LongSightConfig,
+    fit_itq,
+)
+from repro.core.hybrid import SlidingWindowAttention
+from repro.data.synthetic import pg_like
+from repro.llm.perplexity import perplexity
+from repro.llm.zoo import trained_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama-sim-small")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="override training steps (default: full recipe)")
+    parser.add_argument("--context", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--window", type=int, default=algo.WINDOW)
+    parser.add_argument("--top-k", type=int, default=algo.TOP_K_LARGE)
+    args = parser.parse_args()
+
+    model = trained_model(args.model, steps=args.steps)
+    tokens = pg_like(args.context, seed=args.seed)
+    rotations = fit_itq(model, pg_like(1024, seed=11))
+    threshold = model.config.head_dim // 2 + 2
+
+    print(f"Corpus: {args.context} tokens of long-form synthetic text "
+          f"(long-range copy structure); window = {args.window} tokens.\n")
+    dense = perplexity(model, tokens)
+    window_only = perplexity(
+        model, tokens,
+        backend=SlidingWindowAttention(window=args.window,
+                                       n_sink=algo.N_SINK))
+    config = LongSightConfig(window=args.window, n_sink=algo.N_SINK,
+                             top_k=args.top_k, thresholds=threshold,
+                             use_itq=True)
+    stats = FilterStats(model.config.n_layers, model.config.n_kv_heads)
+    hybrid = perplexity(model, tokens,
+                        backend=LongSightAttention(config,
+                                                   rotations=rotations,
+                                                   stats=stats))
+
+    print(f"  dense attention     : ppl {dense:7.3f}   (accesses all "
+          f"{args.context} KVs per query)")
+    print(f"  sliding window only : ppl {window_only:7.3f}   "
+          f"(+{(window_only / dense - 1) * 100:.2f}% vs dense)")
+    print(f"  LongSight hybrid    : ppl {hybrid:7.3f}   "
+          f"(+{(hybrid / dense - 1) * 100:.2f}% vs dense)")
+    print()
+    lost = window_only - dense
+    recovered = window_only - hybrid
+    if lost > 1e-9:
+        print(f"  window-only loses {lost:.3f} ppl to blindness beyond "
+              f"{args.window} tokens;")
+        print(f"  LongSight recovers {recovered / lost * 100:.0f}% of that "
+              f"gap while touching only "
+              f"1/{stats.filter_ratio:.1f} of the distant KV accesses "
+              f"(sparsity {stats.sparsity * 100:.1f}%).")
+    else:
+        print("  (this corpus/model shows no window penalty; "
+              "try a longer --context)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: LongSight sparse attention vs dense attention.
+
+Mirrors the paper artifact's ``src/example.py``: benchmark one LongSight
+configuration against dense attention and print baseline perplexity,
+sparse perplexity, and the KV cache filter ratio.
+
+Run:
+    python examples/quickstart.py            # quick (trains a small model)
+    python examples/quickstart.py --steps 1200 --context 4096   # full
+
+The first run trains a miniature Llama-style model on a synthetic corpus
+(cached under .cache/); later runs start instantly.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench import algo
+from repro.core import (
+    FilterStats,
+    LongSightAttention,
+    LongSightConfig,
+    fit_itq,
+)
+from repro.data.synthetic import pg_like
+from repro.llm.perplexity import perplexity
+from repro.llm.zoo import trained_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama-sim-small",
+                        choices=["llama-sim-small", "llama-sim-base"])
+    parser.add_argument("--steps", type=int, default=None,
+                        help="training steps for the miniature model "
+                             "(default: the full cached recipe)")
+    parser.add_argument("--context", type=int, default=2048)
+    parser.add_argument("--window", type=int, default=algo.WINDOW)
+    parser.add_argument("--top-k", type=int, default=algo.TOP_K_LARGE)
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="SCF threshold (default: head_dim/2 + 2)")
+    args = parser.parse_args()
+
+    print(f"Loading/training {args.model}...")
+    model = trained_model(args.model, steps=args.steps)
+    threshold = args.threshold if args.threshold is not None \
+        else model.config.head_dim // 2 + 2
+    tokens = pg_like(args.context, seed=3)
+
+    print(f"Evaluating dense attention over {args.context} tokens...")
+    dense_ppl = perplexity(model, tokens)
+
+    print("Fitting ITQ rotations (1K-token sample)...")
+    rotations = fit_itq(model, pg_like(1024, seed=11))
+
+    config = LongSightConfig(window=args.window, n_sink=algo.N_SINK,
+                             top_k=args.top_k, thresholds=threshold,
+                             use_itq=True)
+    stats = FilterStats(model.config.n_layers, model.config.n_kv_heads)
+    backend = LongSightAttention(config, rotations=rotations, stats=stats)
+    print(f"Evaluating LongSight hybrid attention "
+          f"(W={config.window}, k={config.top_k}, TH={threshold})...")
+    sparse_ppl = perplexity(model, tokens, backend=backend)
+
+    print()
+    print(f"  baseline (dense) perplexity : {dense_ppl:8.3f}")
+    print(f"  LongSight sparse perplexity : {sparse_ppl:8.3f} "
+          f"({(sparse_ppl / dense_ppl - 1) * 100:+.2f}%)")
+    print(f"  KV cache filter ratio       : {stats.filter_ratio:8.2f}x")
+    print(f"  sparsity                    : {stats.sparsity * 100:8.2f}%")
+    print(f"  sign-filter pass rate       : {stats.pass_rate * 100:8.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Serving-capacity planner: who serves your workload, and how fast?
+
+Uses the analytical performance model (paper-scale Llama-3 dimensions,
+Table 2 hardware) to compare 1-GPU, 2-GPU, AttAcc and LongSight for a
+given model, context length and latency SLO — the Figure 7 machinery as a
+planning tool.
+
+Run:
+    python examples/serving_capacity.py --model llama-3-8b --context 262144
+    python examples/serving_capacity.py --context 1048576 --slo-ms 50
+"""
+
+import argparse
+
+from repro.bench.fig7 import best_point
+from repro.core import LongSightConfig
+from repro.llm.config import PAPER_MODELS
+from repro.system import AttAccSystem, DenseGpuSystem, LongSightSystem
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama-3-8b",
+                        choices=sorted(PAPER_MODELS))
+    parser.add_argument("--context", type=int, default=262144)
+    parser.add_argument("--slo-ms", type=float, default=None,
+                        help="per-token latency SLO; limits the user count")
+    parser.add_argument("--top-k", type=int, default=1024)
+    parser.add_argument("--window", type=int, default=1024)
+    args = parser.parse_args()
+
+    config = PAPER_MODELS[args.model]
+    systems = [
+        DenseGpuSystem(1),
+        DenseGpuSystem(2),
+        AttAccSystem(),
+        LongSightSystem(LongSightConfig(window=args.window, n_sink=16,
+                                        top_k=args.top_k, use_itq=True)),
+    ]
+
+    print(f"Model {config.name}: {config.n_layers} layers, "
+          f"{config.n_q_heads}/{config.n_kv_heads} heads, "
+          f"{config.kv_bytes_per_token() // 1024} KiB of KV per token")
+    print(f"Context {args.context:,} tokens "
+          f"(~{args.context * config.kv_bytes_per_token() / 2**30:.1f} GiB "
+          f"of KV cache per user)\n")
+    header = (f"{'system':<12} {'max users':>9} {'best users':>10} "
+              f"{'tput tok/s':>11} {'latency ms':>10}")
+    print(header)
+    print("-" * len(header))
+    for system in systems:
+        max_users = system.max_users(config, args.context)
+        if max_users < 1:
+            print(f"{system.name:<12} {'OOM':>9}")
+            continue
+        point = best_point(system, config, args.context)
+        if args.slo_ms is not None:
+            # Largest user count whose latency meets the SLO.
+            point = None
+            for users in range(max_users, 0, -1):
+                cand = system.evaluate(config, args.context, users)
+                if cand and cand.token_latency_s * 1e3 <= args.slo_ms:
+                    point = cand
+                    break
+        if point is None:
+            print(f"{system.name:<12} {max_users:>9} "
+                  f"{'(SLO unmet)':>10}")
+            continue
+        print(f"{system.name:<12} {max_users:>9} {point.n_users:>10} "
+              f"{point.throughput_tps:>11.0f} "
+              f"{point.token_latency_s * 1e3:>10.2f}")
+    print("\n(best users = highest-throughput batch size"
+          + (", subject to the SLO" if args.slo_ms else "") + ")")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""LongSight (MICRO 2025) reproduction.
+
+Hybrid dense–sparse attention for large-context LLMs, offloaded to a
+compute-enabled CXL memory expander (DReX).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Subpackages:
+
+- ``repro.core``   — the LongSight algorithm (SCF, ITQ, top-k, hybrid attention).
+- ``repro.llm``    — numpy transformer substrate (GQA/RoPE/SwiGLU) + training.
+- ``repro.data``   — synthetic long-context corpora.
+- ``repro.drex``   — DReX device model (PFU/NMA/DCC, layout, DRAM timing).
+- ``repro.system`` — GPU/CXL models, serving engine, baselines, power model.
+- ``repro.bench``  — experiment harness used by the benchmarks.
+"""
+
+__version__ = "1.0.0"

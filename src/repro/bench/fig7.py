@@ -1,0 +1,93 @@
+"""Figure 7: decode throughput and per-token latency across systems.
+
+Grid over {Llama-3-1B, Llama-3-8B} x context {8K..1M} x user counts for
+1-GPU, 2-GPU, AttAcc and LongSight.  Missing entries ("OOM") mark contexts
+whose KV cache exceeds GPU memory, as in the paper.  This experiment is
+purely analytical (paper dimensions, no miniatures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bench.tables import Table
+from repro.core.config import LongSightConfig
+from repro.llm.config import LLAMA3_1B, LLAMA3_8B, ModelConfig
+from repro.system.baselines import AttAccSystem, DenseGpuSystem, ServingPoint
+from repro.system.engine import LongSightSystem
+
+CONTEXTS = [8192, 32768, 131072, 262144, 524288, 1048576]
+USER_GRID = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def default_systems():
+    ls = LongSightSystem(LongSightConfig(window=1024, n_sink=16, top_k=1024,
+                                         use_itq=True))
+    return [DenseGpuSystem(1), DenseGpuSystem(2), AttAccSystem(), ls]
+
+
+def best_point(system, config: ModelConfig, context: int,
+               users: Iterable[int] = USER_GRID) -> Optional[ServingPoint]:
+    """Highest-throughput point over the user sweep (capacity-clipped)."""
+    max_users = system.max_users(config, context)
+    best = None
+    for u in sorted(set(list(users) + [max_users])):
+        if u < 1 or u > max_users:
+            continue
+        point = system.evaluate(config, context, u)
+        if point and (best is None
+                      or point.throughput_tps > best.throughput_tps):
+            best = point
+    return best
+
+
+def run_fig7(models: Iterable[ModelConfig] = (LLAMA3_1B, LLAMA3_8B),
+             contexts: Optional[List[int]] = None) -> Table:
+    contexts = contexts or CONTEXTS
+    systems = default_systems()
+    table = Table(
+        "Figure 7: decode throughput / per-token latency",
+        ["model", "context", "system", "max_users", "best_users",
+         "throughput_tps", "latency_ms_at_best", "latency_ms_1user"],
+        note="Best point over a user sweep; '-' entries are GPU-memory OOM "
+             "(the paper's missing bars).")
+    for config in models:
+        for context in contexts:
+            for system in systems:
+                point = best_point(system, config, context)
+                one = system.evaluate(config, context, 1) \
+                    if system.max_users(config, context) >= 1 else None
+                table.add_row(
+                    model=config.name, context=context, system=system.name,
+                    max_users=system.max_users(config, context),
+                    best_users=point.n_users if point else None,
+                    throughput_tps=point.throughput_tps if point else None,
+                    latency_ms_at_best=point.token_latency_s * 1e3
+                    if point else None,
+                    latency_ms_1user=one.token_latency_s * 1e3
+                    if one else None)
+    return table
+
+
+def headline_speedups(config: ModelConfig) -> dict:
+    """Section 9.1's headline: LongSight vs 1-GPU at max 1-GPU context.
+
+    Returns throughput and per-user-latency ratios at the longest context a
+    single GPU can still serve.
+    """
+    one = DenseGpuSystem(1)
+    ls = LongSightSystem(LongSightConfig(window=1024, n_sink=16, top_k=1024,
+                                         use_itq=True))
+    context = 8192
+    step = 8192
+    while one.max_users(config, context + step) >= 1:
+        context += step
+    p1 = best_point(one, config, context)
+    pl = best_point(ls, config, context)
+    l1 = one.evaluate(config, context, 1)
+    ll = ls.evaluate(config, context, 1)
+    return {
+        "context": context,
+        "throughput_ratio": pl.throughput_tps / p1.throughput_tps,
+        "per_user_latency_ratio": l1.token_latency_s / ll.token_latency_s,
+    }

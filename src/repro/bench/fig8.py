@@ -1,0 +1,48 @@
+"""Figure 8: per-token latency breakdown inside a DReX offload.
+
+Two scenarios per (model, context): a single user (every component fully
+exposed) and a fully-utilized device (value reads overlap dot-products of
+queued partitions, Section 9.2).  Components follow Section 8.2's model:
+address generation, PFU filtering, bitmap read, dot-product scoring, top-k
+ranking, and the CXL value read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bench.tables import Table
+from repro.core.config import LongSightConfig
+from repro.llm.config import LLAMA3_1B, LLAMA3_8B, ModelConfig
+from repro.system.engine import LongSightSystem
+
+CONTEXTS = [8192, 32768, 131072, 524288, 1048576]
+
+COMPONENTS = ["address_gen", "filter", "bitmap_read", "score", "rank",
+              "value_read"]
+
+
+def run_fig8(models: Iterable[ModelConfig] = (LLAMA3_1B, LLAMA3_8B),
+             contexts: Optional[List[int]] = None,
+             top_k: int = 1024) -> Table:
+    contexts = contexts or CONTEXTS
+    engine = LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                             top_k=top_k, use_itq=True))
+    table = Table(
+        "Figure 8: DReX offload latency breakdown (us per offload)",
+        ["model", "context", "scenario"] + COMPONENTS + ["total"],
+        note="single = 1 user (everything exposed); "
+             "saturated = full utilization (value read overlapped with "
+             "dot-product of queued partitions).")
+    for config in models:
+        for context in contexts:
+            for scenario in ("single", "saturated"):
+                if scenario == "single":
+                    parts = engine.single_offload_breakdown(config, context)
+                else:
+                    parts = engine.saturated_offload_breakdown(config, context)
+                row = {name: parts[name] / 1e3 for name in COMPONENTS}
+                table.add_row(model=config.name, context=context,
+                              scenario=scenario,
+                              total=sum(row.values()), **row)
+    return table

@@ -1,0 +1,49 @@
+"""Figure 9: system-level per-token latency breakdown for LongSight.
+
+Shows how the bottleneck shifts with load (Section 9.2): with few users
+the GPU dominates regardless of context; as DReX fills up, short contexts
+become DReX/CXL-bound (per-user value loading), while very long contexts
+reduce the feasible user count and hand the bottleneck back to the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bench.tables import Table
+from repro.core.config import LongSightConfig
+from repro.llm.config import LLAMA3_1B, LLAMA3_8B, ModelConfig
+from repro.system.engine import LongSightSystem
+
+CONTEXTS = [8192, 32768, 131072, 524288, 1048576]
+
+
+def run_fig9(models: Iterable[ModelConfig] = (LLAMA3_1B, LLAMA3_8B),
+             contexts: Optional[List[int]] = None) -> Table:
+    contexts = contexts or CONTEXTS
+    engine = LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                             top_k=1024, use_itq=True))
+    table = Table(
+        "Figure 9: LongSight per-token latency breakdown (ms)",
+        ["model", "context", "users", "gemm", "window_attn", "drex", "cxl",
+         "exposed_offload", "merge", "total", "bottleneck"],
+        note="users = 1 (GPU-bound regime) and max (device saturated).")
+    for config in models:
+        for context in contexts:
+            max_users = engine.max_users(config, context)
+            if max_users < 1:
+                continue
+            for users in sorted({1, max_users}):
+                point = engine.evaluate(config, context, users)
+                b = point.breakdown
+                table.add_row(
+                    model=config.name, context=context, users=users,
+                    gemm=b["gemm_s"] * 1e3,
+                    window_attn=b["window_attention_s"] * 1e3,
+                    drex=b["drex_s"] * 1e3,
+                    cxl=b["cxl_s"] * 1e3,
+                    exposed_offload=b["exposed_offload_s"] * 1e3,
+                    merge=b["merge_s"] * 1e3,
+                    total=point.token_latency_s * 1e3,
+                    bottleneck=engine.bottleneck(config, context, users))
+    return table

@@ -1,0 +1,169 @@
+"""Software sparse-attention baselines (Section 3.1's related work).
+
+The paper argues qualitatively against Reformer-style LSH filtering and
+NSA/DynaX-style block sparsity; these executable baselines make the
+comparison quantitative on the same substrate (see
+``benchmarks/test_algo_comparison.py``):
+
+- :class:`LshAttention` — Reformer-like: random-hyperplane LSH buckets per
+  head; a query attends only to prior keys sharing a bucket in at least
+  one hashing round (plus a local window for stability).  Per-token
+  overhead is linear, and bucket collisions are probabilistic — exactly
+  the trade-offs Section 3.1 describes.
+- :class:`BlockSparseAttention` — NSA/DynaX-like: the context is split
+  into fixed blocks; per query, block *summaries* (mean-pooled keys) are
+  scored and the top-B blocks attended in full, plus a sliding window.
+  Coarse granularity caps achievable sparsity ("blockwise selection ...
+  imposes a limitation on the achievable overall sparsity").
+
+Both record the same access statistics as LongSight so filter ratios are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.hybrid import _region_masks
+from repro.core.metrics import FilterStats
+from repro.core.topk import top_k_mask
+from repro.llm.ops import softmax
+
+
+class LshAttention:
+    """Reformer-style LSH-filtered attention backend.
+
+    Args:
+        n_hashes: independent hashing rounds (more rounds -> higher recall,
+            lower sparsity).
+        n_bits: hyperplanes per round; buckets = 2^n_bits.
+        window: always-dense local window (Reformer attends within chunks;
+            a small window plays the same stabilizing role here).
+        seed: hyperplane seed (fixed per backend so decode is consistent).
+    """
+
+    def __init__(self, n_hashes: int = 2, n_bits: int = 4, window: int = 8,
+                 n_sink: int = 0, seed: int = 0,
+                 stats: Optional[FilterStats] = None) -> None:
+        if n_bits < 1 or n_hashes < 1:
+            raise ValueError("need at least one hash round and one bit")
+        self.n_hashes = n_hashes
+        self.n_bits = n_bits
+        self.window = window
+        self.n_sink = n_sink
+        self.seed = seed
+        self.stats = stats
+        self._planes: dict[tuple[int, int], np.ndarray] = {}
+
+    def _hyperplanes(self, layer: int, head_dim: int) -> np.ndarray:
+        key = (layer, head_dim)
+        if key not in self._planes:
+            rng = np.random.default_rng(self.seed + 1009 * layer)
+            self._planes[key] = rng.normal(
+                size=(self.n_hashes, head_dim, self.n_bits))
+        return self._planes[key]
+
+    def _bucket_codes(self, x: np.ndarray, planes: np.ndarray) -> np.ndarray:
+        """(rounds, n, ) integer bucket ids for vectors ``x (n, d)``."""
+        bits = (np.einsum("nd,rdb->rnb", x, planes) >= 0)
+        weights = 1 << np.arange(self.n_bits)
+        return bits @ weights
+
+    def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                v: np.ndarray) -> np.ndarray:
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        q_positions = np.arange(n_ctx - n_new, n_ctx)
+        dense_mask, candidate_mask = _region_masks(
+            q_positions, n_ctx, self.n_sink, self.window)
+        planes = self._hyperplanes(layer, head_dim)
+        out = np.empty_like(q)
+        for kv_head in range(n_kv_heads):
+            keys = k[kv_head]
+            values = v[kv_head]
+            key_codes = self._bucket_codes(keys, planes)  # (rounds, n_ctx)
+            for g in range(group):
+                h = kv_head * group + g
+                query_codes = self._bucket_codes(q[h], planes)  # (r, n_new)
+                match = (query_codes[:, :, None]
+                         == key_codes[:, None, :]).any(axis=0)
+                attend = dense_mask | (candidate_mask & match)
+                scores = (q[h] @ keys.T) * scale
+                scores[~attend] = -np.inf
+                out[h] = softmax(scores, axis=-1) @ values
+                if self.stats is not None:
+                    kept = candidate_mask & match
+                    self.stats.update(
+                        layer, kv_head,
+                        candidates=int(candidate_mask.sum()),
+                        passed=int(kept.sum()),
+                        retrieved=int(kept.sum()),
+                        queries=n_new)
+        return out
+
+
+class BlockSparseAttention:
+    """NSA/DynaX-style block-sparse attention backend.
+
+    Args:
+        block_size: context block granularity.
+        top_blocks: blocks attended in full per query.
+        window: dense sliding window (NSA's third branch).
+    """
+
+    def __init__(self, block_size: int = 64, top_blocks: int = 4,
+                 window: int = 8, n_sink: int = 0,
+                 stats: Optional[FilterStats] = None) -> None:
+        if block_size < 1 or top_blocks < 0:
+            raise ValueError("invalid block configuration")
+        self.block_size = block_size
+        self.top_blocks = top_blocks
+        self.window = window
+        self.n_sink = n_sink
+        self.stats = stats
+
+    def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                v: np.ndarray) -> np.ndarray:
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        q_positions = np.arange(n_ctx - n_new, n_ctx)
+        dense_mask, candidate_mask = _region_masks(
+            q_positions, n_ctx, self.n_sink, self.window)
+        n_blocks = -(-n_ctx // self.block_size)
+        block_of = np.arange(n_ctx) // self.block_size
+        out = np.empty_like(q)
+        for kv_head in range(n_kv_heads):
+            keys = k[kv_head]
+            values = v[kv_head]
+            # Block summaries: mean key per block (compressed attention).
+            sums = np.zeros((n_blocks, head_dim))
+            np.add.at(sums, block_of, keys)
+            counts = np.bincount(block_of, minlength=n_blocks)[:, None]
+            summaries = sums / np.maximum(counts, 1)
+            for g in range(group):
+                h = kv_head * group + g
+                block_scores = q[h] @ summaries.T  # (n_new, n_blocks)
+                # A block is selectable only if it contains candidates.
+                selectable = np.zeros((n_new, n_blocks), dtype=bool)
+                np.logical_or.at(selectable.T, block_of, candidate_mask.T)
+                block_scores = np.where(selectable, block_scores, -np.inf)
+                chosen = top_k_mask(block_scores, self.top_blocks)
+                token_sel = chosen[:, block_of] & candidate_mask
+                attend = dense_mask | token_sel
+                scores = (q[h] @ keys.T) * scale
+                scores[~attend] = -np.inf
+                out[h] = softmax(scores, axis=-1) @ values
+                if self.stats is not None:
+                    self.stats.update(
+                        layer, kv_head,
+                        candidates=int(candidate_mask.sum()),
+                        passed=int(token_sel.sum()),
+                        retrieved=int(token_sel.sum()),
+                        queries=n_new)
+        return out

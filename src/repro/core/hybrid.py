@@ -1,0 +1,143 @@
+"""Hybrid dense–sparse attention backends (Sections 5.3 and 6).
+
+:class:`LongSightAttention` is the software analogue of the paper's
+``LongSightAttn`` PyTorch module: per query it attends densely to
+``n_sink`` early tokens plus the ``window`` most recent tokens (what the GPU
+keeps in HBM) and sparsely — via SCF filtering and top-k — to everything in
+between (what lives in DReX).  A single softmax then runs over the combined
+dense + sparse score set, exactly as in Figure 2b step 6.
+
+:class:`SlidingWindowAttention` is the StreamingLLM-style baseline of
+Section 8.2 / Figure 10: sinks + window only, no sparse component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import LongSightConfig
+from repro.core.itq import ItqRotations
+from repro.core.metrics import FilterStats
+from repro.core.scf import concordance
+from repro.core.topk import top_k_mask
+from repro.llm.ops import softmax
+
+
+def _region_masks(q_positions: np.ndarray, n_ctx: int, n_sink: int,
+                  window: int) -> tuple[np.ndarray, np.ndarray]:
+    """(dense, sparse-candidate) boolean masks, each ``(n_q, n_ctx)``.
+
+    ``dense`` covers sinks plus the sliding window (clipped causally);
+    ``sparse`` is the causal remainder — the region LongSight offloads.
+    """
+    j = np.arange(n_ctx)[None, :]
+    p = np.asarray(q_positions)[:, None]
+    causal = j <= p
+    dense = ((j < n_sink) | (j > p - window)) & causal
+    sparse = causal & ~dense
+    return dense, sparse
+
+
+class LongSightAttention:
+    """Hybrid dense+sparse attention backend for :class:`Transformer`.
+
+    Args:
+        config: algorithm hyper-parameters (window, sinks, k, thresholds).
+        rotations: optional ITQ rotation bank; required when
+            ``config.use_itq`` is set.
+        stats: optional :class:`FilterStats` to accumulate access counters
+            into (callers typically reset it between measurements).
+
+    The backend is stateless across calls apart from ``stats``.
+    """
+
+    def __init__(self, config: LongSightConfig,
+                 rotations: Optional[ItqRotations] = None,
+                 stats: Optional[FilterStats] = None) -> None:
+        if config.use_itq and rotations is None:
+            raise ValueError("use_itq requires an ItqRotations bank")
+        self.config = config
+        self.rotations = rotations
+        self.stats = stats
+
+    def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                v: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        q_positions = np.arange(n_ctx - n_new, n_ctx)
+        dense_mask, sparse_mask = _region_masks(
+            q_positions, n_ctx, cfg.n_sink, cfg.window)
+        any_sparse = bool(sparse_mask.any())
+        neg_inf = -np.inf
+
+        # Stats may be tracked at KV-head or query-head resolution; the
+        # stats object's head-axis width decides (the finer resolution is
+        # used by the threshold-granularity ablation).
+        stats_per_q = (self.stats is not None
+                       and self.stats.n_kv_heads == n_q_heads
+                       and n_q_heads != n_kv_heads)
+
+        out = np.empty_like(q)
+        for kv_head in range(n_kv_heads):
+            keys = k[kv_head]
+            values = v[kv_head]
+            if cfg.use_itq:
+                rot = self.rotations.get(layer, kv_head)
+                keys_f = keys @ rot
+            else:
+                keys_f = keys
+            for g in range(group):
+                h = kv_head * group + g
+                threshold = cfg.threshold_for(layer, kv_head, h)
+                scores = (q[h] @ keys.T) * scale
+                if any_sparse:
+                    q_f = q[h] @ rot if cfg.use_itq else q[h]
+                    conc = concordance(q_f, keys_f)
+                    pass_mask = sparse_mask & (conc >= threshold)
+                    sparse_scores = np.where(pass_mask, scores, neg_inf)
+                    selected = top_k_mask(sparse_scores, cfg.top_k)
+                    attend = dense_mask | selected
+                    if self.stats is not None:
+                        self.stats.update(
+                            layer, h if stats_per_q else kv_head,
+                            candidates=int(sparse_mask.sum()),
+                            passed=int(pass_mask.sum()),
+                            retrieved=int(selected.sum()),
+                            queries=n_new,
+                        )
+                else:
+                    attend = dense_mask
+                scores[~attend] = neg_inf
+                out[h] = softmax(scores, axis=-1) @ values
+        return out
+
+
+class SlidingWindowAttention:
+    """Dense sinks + sliding window only (StreamingLLM-style baseline)."""
+
+    def __init__(self, window: int = 1024, n_sink: int = 16) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.n_sink = n_sink
+
+    def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                v: np.ndarray) -> np.ndarray:
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        q_positions = np.arange(n_ctx - n_new, n_ctx)
+        dense_mask, _ = _region_masks(q_positions, n_ctx, self.n_sink, self.window)
+        out = np.empty_like(q)
+        for h in range(n_q_heads):
+            kv_head = h // group
+            scores = (q[h] @ k[kv_head].T) * scale
+            final = np.where(dense_mask, scores, -np.inf)
+            out[h] = softmax(final, axis=-1) @ v[kv_head]
+        return out

@@ -1,0 +1,108 @@
+"""Sign-Concordance Filtering (SCF), Section 5.1.
+
+SCF keeps a key ``K`` for query ``Q`` when enough of their sign bits agree::
+
+    SCF(Q, K, TH) = TH <= D - sum_i( sign(Q[i]) XOR sign(K[i]) )
+
+Two implementations are provided:
+
+- a vectorized float path (:func:`concordance`) used by the algorithm
+  experiments, exploiting ``matches = (D + s_q . s_k) / 2`` for +/-1 signs;
+- a bit-packed path (:func:`pack_signs`, :func:`concordance_packed`) that
+  mirrors what DReX's PIM Filter Units actually compute (XOR + popcount on
+  one-bit Key Sign Objects).  The two are verified to agree bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sign_bits(x: np.ndarray) -> np.ndarray:
+    """One-bit quantization: True where the dimension is non-negative.
+
+    The paper quantizes "based on the sign bit of the full-precision data
+    representation"; IEEE sign-bit semantics make 0.0 positive.
+    """
+    return np.asarray(x) >= 0
+
+
+def sign_pm1(x: np.ndarray) -> np.ndarray:
+    """Signs as +/-1 floats (+1 where non-negative)."""
+    return np.where(sign_bits(x), 1.0, -1.0)
+
+
+def concordance(q: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Number of agreeing sign bits between every query and key.
+
+    Args:
+        q: ``(..., n_q, D)`` full-precision queries (signs are extracted
+            internally, so pre-quantized +/-1 input gives the same result).
+        k: ``(..., n_k, D)`` full-precision keys.
+
+    Returns:
+        Integer array ``(..., n_q, n_k)`` of matching-sign counts in
+        ``[0, D]``.
+    """
+    d = q.shape[-1]
+    if k.shape[-1] != d:
+        raise ValueError("query/key dimension mismatch")
+    # float32 is exact here: the matmul accumulates d terms of +/-1, and
+    # integers up to 2^24 are exactly representable.
+    sq = sign_pm1(q).astype(np.float32)
+    sk = sign_pm1(k).astype(np.float32)
+    dots = np.matmul(sq, np.swapaxes(sk, -1, -2))
+    return np.rint((d + dots) / 2.0).astype(np.int64)
+
+
+def scf_filter(q: np.ndarray, k: np.ndarray, threshold: float) -> np.ndarray:
+    """Boolean pass mask: ``concordance >= threshold`` (Section 5.1).
+
+    Threshold 0 passes everything; threshold ``D`` passes only keys whose
+    signs agree with the query's on every dimension.
+    """
+    return concordance(q, k) >= threshold
+
+
+# --- bit-packed path (hardware-faithful) -----------------------------------
+
+
+def pack_signs(x: np.ndarray) -> np.ndarray:
+    """Pack sign bits of ``(..., n, D)`` vectors into uint8 words.
+
+    This is the Key Sign Object representation stored in DReX DRAM: one bit
+    per dimension, padded to a whole number of bytes.
+    """
+    bits = sign_bits(x).astype(np.uint8)
+    return np.packbits(bits, axis=-1)
+
+
+def _popcount(x: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint8 array."""
+    table = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+    return table[x]
+
+
+def concordance_packed(q_packed: np.ndarray, k_packed: np.ndarray,
+                       d: int) -> np.ndarray:
+    """Matching-sign counts from packed sign words (XOR + popcount).
+
+    Args:
+        q_packed: ``(n_q, n_bytes)`` packed query signs.
+        k_packed: ``(n_k, n_bytes)`` packed key signs.
+        d: true vector dimension (pad bits beyond ``d`` must be zero in both
+            inputs, which :func:`pack_signs` guarantees since ``packbits``
+            zero-pads; pad-bit XOR is then always 0).
+
+    Returns:
+        ``(n_q, n_k)`` integer counts, identical to :func:`concordance`.
+    """
+    xor = np.bitwise_xor(q_packed[:, None, :], k_packed[None, :, :])
+    mismatches = _popcount(xor).sum(axis=-1, dtype=np.int64)
+    return d - mismatches
+
+
+def scf_filter_packed(q_packed: np.ndarray, k_packed: np.ndarray, d: int,
+                      threshold: float) -> np.ndarray:
+    """Packed-representation twin of :func:`scf_filter`."""
+    return concordance_packed(q_packed, k_packed, d) >= threshold

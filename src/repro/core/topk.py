@@ -1,0 +1,62 @@
+"""Deterministic top-k selection over attention scores (Section 5.1).
+
+This is the "ranking" stage of the sparse pipeline; in hardware it runs on
+the NMA's top-k sorting unit (maximum supported k is 1,024).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries of a 1-D score vector.
+
+    Deterministic: ties broken by lower index first.  Entries equal to
+    ``-inf`` are treated as absent (never selected), so callers can mask
+    filtered-out candidates with ``-inf``.
+
+    Returns:
+        Sorted-by-descending-score index array of length
+        ``min(k, #finite entries)``.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 1:
+        raise ValueError("top_k_indices expects a 1-D score vector")
+    finite = np.isfinite(scores)
+    n_valid = int(finite.sum())
+    take = min(k, n_valid)
+    if take == 0:
+        return np.empty(0, dtype=np.int64)
+    # argsort on (-score, index) gives a deterministic total order.
+    order = np.lexsort((np.arange(len(scores)), -scores))
+    order = order[finite[order]]
+    return order[:take].astype(np.int64)
+
+
+def top_k_mask(scores: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise top-k as a boolean mask for a 2-D score matrix.
+
+    ``scores`` is ``(n_q, n_candidates)`` with ``-inf`` marking
+    non-candidates; the result marks at most ``k`` True entries per row.
+    Vectorized with ``argpartition``, so it is the fast path for blockwise
+    perplexity evaluation.  Ties at the k-th boundary are broken by lower
+    index, matching :func:`top_k_indices`.
+    """
+    scores = np.asarray(scores)
+    n_q, n_c = scores.shape
+    mask = np.zeros_like(scores, dtype=bool)
+    if k <= 0 or n_c == 0:
+        return mask
+    finite = np.isfinite(scores)
+    if k >= n_c:
+        return finite
+    # Exact O(n) selection: take everything strictly above the k-th value,
+    # then fill remaining slots with boundary-tied entries in index order.
+    kth = -np.partition(-scores, k - 1, axis=-1)[:, k - 1 : k]
+    above = scores > kth
+    tied = scores == kth
+    slots = k - above.sum(axis=-1, keepdims=True)
+    fill = tied & (np.cumsum(tied, axis=-1) <= slots)
+    mask = (above | fill) & finite
+    return mask

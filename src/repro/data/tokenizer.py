@@ -1,0 +1,39 @@
+"""A minimal byte-level tokenizer for the text-facing examples.
+
+The experiments operate on synthetic token ids directly; this tokenizer
+exists so the example applications can feed human-readable text through the
+miniature models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CharTokenizer:
+    """Byte-level tokenizer with ids folded into a fixed vocabulary.
+
+    Bytes map to ids ``2 + (byte % (vocab_size - 2))``; ids 0 and 1 are
+    reserved (separator / copy marker) to stay aligned with the synthetic
+    corpora.  Decoding is best-effort (folding is lossy when
+    ``vocab_size < 258``).
+    """
+
+    def __init__(self, vocab_size: int = 512) -> None:
+        if vocab_size < 10:
+            raise ValueError("vocab_size too small")
+        self.vocab_size = vocab_size
+        self._span = vocab_size - 2
+
+    def encode(self, text: str) -> np.ndarray:
+        data = text.encode("utf-8")
+        return np.asarray([2 + (b % self._span) for b in data], dtype=np.int64)
+
+    def decode(self, ids: np.ndarray) -> str:
+        out = bytearray()
+        for i in np.asarray(ids).reshape(-1):
+            if i < 2:
+                out.append(ord(" "))
+            else:
+                out.append(int(i - 2) % 256)
+        return out.decode("utf-8", errors="replace")

@@ -1,0 +1,98 @@
+"""Physical address mapping (Section 7.3.2).
+
+"DReX employs a simple physical address mapping scheme in which contiguous
+physical addresses are first mapped to columns, then rows, followed by
+banks, channels, and finally packages."  The map is a bijection between
+flat byte addresses and (package, channel, bank, row, col, offset) tuples —
+property-tested in ``tests/drex/test_address.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.drex.geometry import DrexGeometry, DREX_DEFAULT
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class PhysicalLocation:
+    """A column-aligned location inside DReX DRAM."""
+
+    package: int
+    channel: int
+    bank: int
+    row: int
+    col: int
+
+
+class AddressMap:
+    """Bidirectional flat-address <-> physical-location translation."""
+
+    def __init__(self, geometry: DrexGeometry = DREX_DEFAULT) -> None:
+        self.geometry = geometry
+
+    def decode(self, address: int) -> tuple[PhysicalLocation, int]:
+        """Flat byte address -> (location, byte offset within the column)."""
+        g = self.geometry
+        if not 0 <= address < g.capacity_bytes:
+            raise ValueError(f"address {address:#x} out of range")
+        offset = address % g.col_bytes
+        units = address // g.col_bytes
+        col = units % g.cols_per_row
+        units //= g.cols_per_row
+        row = units % g.rows_per_bank
+        units //= g.rows_per_bank
+        bank = units % g.banks_per_channel
+        units //= g.banks_per_channel
+        channel = units % g.channels_per_package
+        package = units // g.channels_per_package
+        return PhysicalLocation(package, channel, bank, row, col), offset
+
+    def encode(self, location: PhysicalLocation, offset: int = 0) -> int:
+        """Physical location (+ byte offset) -> flat byte address."""
+        g = self.geometry
+        if not 0 <= location.package < g.n_packages:
+            raise ValueError("package out of range")
+        if not 0 <= location.channel < g.channels_per_package:
+            raise ValueError("channel out of range")
+        if not 0 <= location.bank < g.banks_per_channel:
+            raise ValueError("bank out of range")
+        if not 0 <= location.row < g.rows_per_bank:
+            raise ValueError("row out of range")
+        if not 0 <= location.col < g.cols_per_row:
+            raise ValueError("col out of range")
+        if not 0 <= offset < g.col_bytes:
+            raise ValueError("offset out of range")
+        units = location.package
+        units = units * g.channels_per_package + location.channel
+        units = units * g.banks_per_channel + location.bank
+        units = units * g.rows_per_bank + location.row
+        units = units * g.cols_per_row + location.col
+        return units * g.col_bytes + offset
+
+    def row_address(self, package: int, channel: int, bank: int,
+                    row: int) -> int:
+        """Flat address of the first byte of a row."""
+        return self.encode(PhysicalLocation(package, channel, bank, row, 0))
+
+
+def key_id_address(bank: int, index_in_bitmap: int, epoch: int) -> int:
+    """Pack the NMA's 32-bit key *ID address* (Section 7.4).
+
+    Bits [6:0] bank index (128 banks/channel), bits [13:7] index within the
+    128-bit bitmap, bits [31:14] the filtering epoch.
+    """
+    if not 0 <= bank < 128:
+        raise ValueError("bank must fit in 7 bits")
+    if not 0 <= index_in_bitmap < 128:
+        raise ValueError("bitmap index must fit in 7 bits")
+    if not 0 <= epoch < (1 << 18):
+        raise ValueError("epoch must fit in 18 bits")
+    return bank | (index_in_bitmap << 7) | (epoch << 14)
+
+
+def decode_key_id_address(id_address: int) -> tuple[int, int, int]:
+    """Inverse of :func:`key_id_address`: (bank, bitmap index, epoch)."""
+    if not 0 <= id_address < (1 << 32):
+        raise ValueError("ID address must be 32-bit")
+    return id_address & 0x7F, (id_address >> 7) & 0x7F, id_address >> 14

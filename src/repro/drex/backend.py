@@ -1,0 +1,148 @@
+"""End-to-end functional integration: the GPU side of hybrid attention.
+
+:class:`DrexOffloadBackend` implements the transformer substrate's
+attention-backend protocol by actually driving a :class:`DrexDevice`
+(Section 6's execution model):
+
+- KV pairs are *staged* in HBM (the dense window doubles as the staging
+  buffer) and flushed to DReX in groups of 128 once they leave the window —
+  "off the critical path" batching of updates.
+- Each attention call submits a Request Descriptor per layer, performs the
+  dense sink+window attention locally, then merges the returned top-k
+  scores/values in a single softmax (Figure 2b steps 5–7).
+
+With ``flush_granularity=1`` the result is bit-identical to the pure
+software backend :class:`repro.core.hybrid.LongSightAttention` — the
+integration test that pins the device model to the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import LongSightConfig
+from repro.core.itq import ItqRotations
+from repro.drex.descriptors import RequestDescriptor
+from repro.drex.device import DrexDevice
+from repro.drex.timing import LatencyBreakdown
+from repro.llm.config import ModelConfig
+from repro.llm.ops import softmax
+
+
+class DrexOffloadBackend:
+    """Attention backend that offloads the sparse phase to a DReX device."""
+
+    def __init__(self, model_config: ModelConfig, config: LongSightConfig,
+                 rotations: Optional[ItqRotations] = None,
+                 device: Optional[DrexDevice] = None, uid: int = 0,
+                 flush_granularity: int = 128) -> None:
+        if config.use_itq and rotations is None:
+            raise ValueError("use_itq requires rotations")
+        self.model_config = model_config
+        self.config = config
+        self.uid = uid
+        self.flush_granularity = max(1, flush_granularity)
+        self.device = device or DrexDevice(
+            n_layers=model_config.n_layers,
+            n_kv_heads=model_config.n_kv_heads,
+            n_q_heads=model_config.n_q_heads,
+            head_dim=model_config.head_dim,
+            thresholds=config.thresholds,
+            rotations=rotations if config.use_itq else None,
+            dtype_bytes=model_config.dtype_bytes,
+        )
+        self.device.register_user(uid)
+        #: tokens already written to DReX, per (layer, kv_head)
+        self._flushed: Dict[Tuple[int, int], int] = {}
+        #: accumulated offload latency across the run
+        self.total_latency = LatencyBreakdown()
+        self.n_offloads = 0
+
+    # -- staging -----------------------------------------------------------------
+
+    def _flush(self, layer: int, k: np.ndarray, v: np.ndarray,
+               upto: int) -> int:
+        """Write eligible KV pairs (position < ``upto``) to DReX in groups.
+
+        Returns the per-layer flushed count (uniform across KV heads).
+        """
+        cfg = self.config
+        flushed = self._flushed.get((layer, 0), cfg.n_sink)
+        target = max(flushed, upto)
+        # Flush whole groups; the remainder stays staged in the HBM window.
+        n_new = (target - flushed) // self.flush_granularity \
+            * self.flush_granularity
+        if n_new > 0:
+            for kv_head in range(self.model_config.n_kv_heads):
+                self.device.write_kv(
+                    self.uid, layer, kv_head,
+                    k[kv_head, flushed : flushed + n_new],
+                    v[kv_head, flushed : flushed + n_new])
+            flushed += n_new
+        for kv_head in range(self.model_config.n_kv_heads):
+            self._flushed[(layer, kv_head)] = flushed
+        self._flushed[(layer, 0)] = flushed
+        return flushed
+
+    # -- attention ------------------------------------------------------------------
+
+    def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                v: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        mc = self.model_config
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        out = np.empty_like(q)
+        for t in range(n_new):
+            p = n_ctx - n_new + t
+            # Tokens strictly older than the window are eligible for DReX.
+            eligible_upto = max(cfg.n_sink, p - cfg.window + 1)
+            flushed = self._flush(layer, k, v, eligible_upto)
+            sparse_available = flushed > cfg.n_sink
+            if sparse_available:
+                request = RequestDescriptor(
+                    uid=self.uid, layer=layer, queries=q[:, t, :],
+                    top_k=cfg.top_k, dtype_bytes=mc.dtype_bytes)
+                response = self.device.execute(request)
+                self.total_latency = self.total_latency + response.latency
+                self.n_offloads += 1
+            # Dense region: sinks + everything not yet flushed (window and
+            # staging overhang), causally clipped.
+            dense_positions = np.concatenate([
+                np.arange(min(cfg.n_sink, p + 1)),
+                np.arange(min(flushed, p + 1), p + 1),
+            ])
+            for kv_head in range(n_kv_heads):
+                dense_k = k[kv_head, dense_positions]
+                dense_v = v[kv_head, dense_positions]
+                for g in range(group):
+                    h = kv_head * group + g
+                    dense_scores = (dense_k @ q[h, t]) * scale
+                    if sparse_available:
+                        result = response.heads[h]
+                        sparse_scores = result.scores * scale
+                        sparse_v = result.values
+                        merged = np.concatenate([dense_scores, sparse_scores])
+                        merged_v = np.concatenate([dense_v, sparse_v]) \
+                            if sparse_v.size else dense_v
+                        probs = softmax(merged)
+                        out[h, t] = probs @ merged_v
+                    else:
+                        out[h, t] = softmax(dense_scores) @ dense_v
+        return out
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    def mean_offload_latency(self) -> LatencyBreakdown:
+        """Average per-offload latency breakdown so far."""
+        if self.n_offloads == 0:
+            return LatencyBreakdown()
+        import dataclasses
+        return LatencyBreakdown(*[
+            getattr(self.total_latency, f.name) / self.n_offloads
+            for f in dataclasses.fields(LatencyBreakdown)
+        ])

@@ -1,0 +1,100 @@
+"""DReX CXL Controller (DCC) extensions (Section 7.2).
+
+The DCC is the GPU-facing front-end: a hardware-managed MMIO **Request
+Queue** (FIFO, depth 512 — one slot per concurrently served user, since a
+user's sparse attention must complete before its next request), 512
+**Response Buffers** sized for the maximum Response Descriptor, a 512-bit
+**Polling Register**, and a CAM mapping User IDs to buffer/polling-bit
+indices (read once by the GPU and reused across layers and iterations).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.drex.descriptors import RequestDescriptor, ResponseDescriptor
+
+
+class QueueFullError(RuntimeError):
+    """The MMIO request queue has no free slot."""
+
+
+class DrexCxlController:
+    """Functional model of the DCC front-end."""
+
+    QUEUE_DEPTH = 512
+    N_RESPONSE_BUFFERS = 512
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._buffers: Dict[int, Optional[ResponseDescriptor]] = {}
+        self._cam: Dict[int, int] = {}  # UID -> buffer index
+        self._free_buffers = list(range(self.N_RESPONSE_BUFFERS - 1, -1, -1))
+        self.polling_register = np.zeros(self.N_RESPONSE_BUFFERS, dtype=bool)
+
+    # -- user registration (CAM) -------------------------------------------------
+
+    def register_user(self, uid: int) -> int:
+        """Bind a UID to a response buffer + polling bit; idempotent."""
+        if uid in self._cam:
+            return self._cam[uid]
+        if not self._free_buffers:
+            raise QueueFullError("all response buffers are bound")
+        index = self._free_buffers.pop()
+        self._cam[uid] = index
+        self._buffers[index] = None
+        return index
+
+    def unregister_user(self, uid: int) -> None:
+        index = self._cam.pop(uid, None)
+        if index is not None:
+            self._buffers.pop(index, None)
+            self.polling_register[index] = False
+            self._free_buffers.append(index)
+
+    def buffer_index(self, uid: int) -> int:
+        """CAM lookup (the GPU caches this for the whole generation phase)."""
+        return self._cam[uid]
+
+    # -- request path ------------------------------------------------------------
+
+    def submit(self, request: RequestDescriptor) -> None:
+        """Push a Request Descriptor into the MMIO queue (FIFO order)."""
+        if request.uid not in self._cam:
+            raise KeyError(f"UID {request.uid} not registered")
+        if len(self._queue) >= self.QUEUE_DEPTH:
+            raise QueueFullError("request queue full (depth 512)")
+        self._queue.append(request)
+
+    def pop_next(self) -> Optional[RequestDescriptor]:
+        """Dequeue the next request for dispatch to NMAs."""
+        return self._queue.popleft() if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- response path ---------------------------------------------------------
+
+    def complete(self, response: ResponseDescriptor) -> None:
+        """Aggregate NMA results into the user's buffer; raise polling bit."""
+        index = self._cam[response.uid]
+        self._buffers[index] = response
+        self.polling_register[index] = True
+
+    def poll(self, uid: int) -> bool:
+        """GPU-side poll: is the user's response ready?"""
+        return bool(self.polling_register[self._cam[uid]])
+
+    def read_response(self, uid: int) -> ResponseDescriptor:
+        """Consume the response (clears the polling bit)."""
+        index = self._cam[uid]
+        response = self._buffers[index]
+        if response is None:
+            raise RuntimeError(f"no completed response for UID {uid}")
+        self._buffers[index] = None
+        self.polling_register[index] = False
+        return response

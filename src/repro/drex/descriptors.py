@@ -1,0 +1,126 @@
+"""Memory object formats and MMIO descriptors (Section 7.3.1).
+
+LongSight allocates DReX memory at the granularity of:
+
+- **Key Sign Object** — one-bit sign-quantized keys for one (user, layer,
+  KV head); bank-local, laid out so each 128-bit column holds one dimension
+  across 128 keys (the PFU access pattern).
+- **Key Object** — full-precision keys, interleaved across all eight
+  channels of a package.
+- **Value Object** — full-precision values per layer and head.
+- **Request Descriptor** — UID, layer, and the query vectors; written by
+  the GPU into the DCC's MMIO request queue.
+- **Response Descriptor** — up to ``1,024 x H`` top keys/values plus their
+  scores; populated into a per-user response buffer.
+
+Each class knows its byte footprint so the CXL/bandwidth models can charge
+transfers exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class KeySignObject:
+    """One-bit sign codes for a block of keys (<= 128 per object)."""
+
+    n_keys: int
+    head_dim: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.n_keys <= 128:
+            raise ValueError("Key Sign Objects hold 1..128 keys")
+
+    @property
+    def n_bytes(self) -> int:
+        """One bit per (key, dimension): d columns of 128 bits."""
+        return self.head_dim * 128 // 8
+
+
+@dataclasses.dataclass(frozen=True)
+class KeyObject:
+    """Full-precision key block (channel-interleaved within a package)."""
+
+    n_keys: int
+    head_dim: int
+    dtype_bytes: int = 2
+
+    @property
+    def n_bytes(self) -> int:
+        return self.n_keys * self.head_dim * self.dtype_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class ValueObject:
+    """Full-precision value block for one (user, layer, head)."""
+
+    n_values: int
+    head_dim: int
+    dtype_bytes: int = 2
+
+    @property
+    def n_bytes(self) -> int:
+        return self.n_values * self.head_dim * self.dtype_bytes
+
+
+@dataclasses.dataclass
+class RequestDescriptor:
+    """Sparse-attention offload request (one user, one layer).
+
+    ``queries`` carries the post-RoPE query vectors for every query head:
+    shape ``(n_q_heads, head_dim)`` for single-token decode, or
+    ``(n_q_heads, n_tokens, head_dim)`` for grouped decode (the PFU supports
+    groups of up to 16 queries per KV head).
+    """
+
+    uid: int
+    layer: int
+    queries: np.ndarray
+    top_k: int = 1024
+    dtype_bytes: int = 2
+
+    @property
+    def n_bytes(self) -> int:
+        header = 16  # UID, layer, k, flags
+        return header + self.queries.size * self.dtype_bytes
+
+
+@dataclasses.dataclass
+class HeadResult:
+    """Top-k result for one query head."""
+
+    indices: np.ndarray   # positions within the offloaded region
+    scores: np.ndarray    # raw dot products (pre-softmax, unscaled)
+    values: np.ndarray    # (n_retrieved, head_dim)
+
+
+@dataclasses.dataclass
+class ResponseDescriptor:
+    """Completed offload: per-query-head top-k lists (Section 7.3.1)."""
+
+    uid: int
+    layer: int
+    heads: list  # list[HeadResult], indexed by query head
+    dtype_bytes: int = 2
+    latency: Optional[object] = None  # LatencyBreakdown, attached by the device
+
+    @property
+    def n_bytes(self) -> int:
+        """Bytes the GPU must pull over CXL: scores + values (+ ids)."""
+        total = 16
+        for head in self.heads:
+            n, d = head.values.shape if head.values.size else (0, 0)
+            total += n * (d * self.dtype_bytes + self.dtype_bytes + 4)
+        return total
+
+    @staticmethod
+    def max_bytes(n_q_heads: int, head_dim: int, top_k: int = 1024,
+                  dtype_bytes: int = 2) -> int:
+        """Sizing bound for the DCC's fixed response buffers."""
+        per_entry = head_dim * dtype_bytes + dtype_bytes + 4
+        return 16 + n_q_heads * top_k * per_entry

@@ -1,0 +1,124 @@
+"""Near-Memory Accelerator (NMA) model (Sections 7.1 and 7.4).
+
+One NMA serves each LPDDR5X package.  For a sparse-attention offload it
+(1) launches PFU filtering across the banks the Context Slice spans,
+(2) reads back bitmaps, (3) fetches surviving full-precision keys across
+all eight channels (they are interleaved precisely so this saturates the
+package bandwidth), (4) evaluates dot-product scores, and (5) maintains a
+partial top-k (hardware cap 1,024).
+
+Table 2 gives the aggregate NMA compute of 26.11 TFlop/s (3.26 TFlop/s per
+NMA) and 1.1 TB/s of aggregate NMA-side memory bandwidth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.topk import top_k_indices
+from repro.drex.dram import LpddrTimings, LPDDR5X
+from repro.drex.geometry import DrexGeometry, DREX_DEFAULT
+
+#: Table 2: total NMA compute across the device.
+TOTAL_NMA_TFLOPS = 26.11
+
+
+@dataclasses.dataclass
+class NmaScoreResult:
+    """Per-query partial top-k produced by one NMA."""
+
+    indices: list  # list[np.ndarray], survivor-set indices per query
+    scores: list   # list[np.ndarray]
+
+
+class NearMemoryAccelerator:
+    """Functional + timed model of one per-package accelerator."""
+
+    def __init__(self, geometry: DrexGeometry = DREX_DEFAULT,
+                 timings: LpddrTimings = LPDDR5X,
+                 tflops: float = TOTAL_NMA_TFLOPS / 8,
+                 clock_ghz: float = 1.6) -> None:
+        self.geometry = geometry
+        self.timings = timings
+        self.flops = tflops * 1e12
+        self.clock_ghz = clock_ghz
+
+    # -- functional -----------------------------------------------------------
+
+    def score_and_rank(self, queries: np.ndarray, survivor_keys: np.ndarray,
+                       k: int,
+                       valid_mask: np.ndarray | None = None) -> NmaScoreResult:
+        """Exhaustive full-precision scoring of survivors + per-query top-k.
+
+        Args:
+            queries: ``(G, D)`` query group.
+            survivor_keys: ``(n_s, D)`` keys that passed filtering for at
+                least one query of the group (fetched once, reused across
+                the group).
+            k: top-k size (clamped to the hardware cap).
+            valid_mask: optional ``(G, n_s)`` bitmap — each query ranks only
+                the keys *it* passed; others are masked out, mirroring the
+                hardware's per-query bitmaps.
+
+        Returns:
+            Per-query indices (into the survivor set) and raw scores.
+        """
+        k = min(k, self.geometry.max_top_k)
+        indices, scores = [], []
+        if survivor_keys.size == 0:
+            for _ in range(len(queries)):
+                indices.append(np.empty(0, dtype=np.int64))
+                scores.append(np.empty(0))
+            return NmaScoreResult(indices, scores)
+        all_scores = survivor_keys @ queries.T  # (n_s, G)
+        for g in range(len(queries)):
+            col = all_scores[:, g]
+            if valid_mask is not None:
+                col = np.where(valid_mask[g], col, -np.inf)
+            idx = top_k_indices(col, k)
+            indices.append(idx)
+            scores.append(all_scores[idx, g])
+        return NmaScoreResult(indices, scores)
+
+    # -- timing -----------------------------------------------------------------
+
+    #: Back-to-back bitmap read interval once the pipeline is primed
+    #: (column-to-column cadence on one channel).
+    BITMAP_BURST_NS = 4.0
+
+    def bitmap_read_latency_ns(self, n_blocks: int, epochs: int = 1) -> float:
+        """Reading PFU bitmaps back into the NMA.
+
+        The first read on each channel pays the full 120.4 ns access
+        latency; subsequent reads pipeline at the column cadence.  Channels
+        proceed in parallel.
+        """
+        per_channel = -(-n_blocks // self.geometry.channels_per_package)
+        per_epoch = (self.timings.bitmap_read_ns
+                     + max(0, per_channel - 1) * self.BITMAP_BURST_NS)
+        return epochs * per_epoch
+
+    def scoring_latency_ns(self, n_survivors: int, head_dim: int,
+                           n_queries: int, dtype_bytes: int = 2) -> float:
+        """Dot-product phase: max(key streaming, MAC compute).
+
+        Keys stream once across the package's channels and are reused for
+        every query in the group from NMA SRAM.
+        """
+        mem_ns = self.timings.stream_ns(
+            n_survivors * head_dim * dtype_bytes,
+            self.geometry.channels_per_package)
+        flop = 2.0 * n_survivors * head_dim * n_queries
+        compute_ns = flop / self.flops * 1e9
+        return max(mem_ns, compute_ns)
+
+    def ranking_latency_ns(self, k: int) -> float:
+        """Exposed top-k drain after the scoring stream.
+
+        Insertions into the k-sorter are pipelined with scoring (one
+        comparator network per query); only the final drain of the sorted
+        list is exposed: ``k`` cycles at the NMA clock.
+        """
+        return min(k, self.geometry.max_top_k) / self.clock_ghz

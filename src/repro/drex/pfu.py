@@ -1,0 +1,63 @@
+"""PIM Filter Unit (PFU) model (Sections 7.1 and 7.4).
+
+One PFU sits near every LPDDR bank.  Per *epoch* it filters one Key Sign
+Object — a block of up to 128 keys, stored so each 128-bit column holds one
+dimension across the block — against the sign bits of up to 16 queries,
+emitting a 128-bit bitmap per query (bit set = key passes the
+sign-concordance threshold).
+
+The functional path operates on the same packed representation the hardware
+would (XOR + popcount per column) and is verified to agree with the float
+reference in :mod:`repro.core.scf`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scf import concordance_packed
+from repro.drex.dram import LpddrTimings, LPDDR5X
+from repro.drex.geometry import DrexGeometry, DREX_DEFAULT
+
+
+class PimFilterUnit:
+    """Functional + timed model of a single per-bank filter unit."""
+
+    def __init__(self, geometry: DrexGeometry = DREX_DEFAULT,
+                 timings: LpddrTimings = LPDDR5X) -> None:
+        self.geometry = geometry
+        self.timings = timings
+
+    def filter_block(self, key_signs_packed: np.ndarray,
+                     query_signs_packed: np.ndarray, head_dim: int,
+                     threshold: float) -> np.ndarray:
+        """Filter one Key Sign Object for a query group.
+
+        Args:
+            key_signs_packed: ``(n_keys <= 128, n_bytes)`` packed key signs.
+            query_signs_packed: ``(n_queries <= 16, n_bytes)`` packed query
+                signs.
+            head_dim: true vector dimension.
+            threshold: sign-concordance threshold for this KV head.
+
+        Returns:
+            Boolean bitmap ``(n_queries, n_keys)``; True = key survives.
+        """
+        n_keys = key_signs_packed.shape[0]
+        n_queries = query_signs_packed.shape[0]
+        if n_keys > self.geometry.pfu_keys_per_block:
+            raise ValueError("PFU blocks hold at most 128 keys")
+        if n_queries > self.geometry.pfu_max_queries:
+            raise ValueError("PFU supports attention groups of <= 16 queries")
+        matches = concordance_packed(query_signs_packed, key_signs_packed,
+                                     head_dim)
+        return matches >= threshold
+
+    def bitmap_latency_ns(self, head_dim: int) -> float:
+        """Bitmap generation time for one epoch: ``d x 1.25 ns``.
+
+        One 128-bit column access per dimension; the XOR/accumulate against
+        all (<= 16) query sign registers happens in the same cycle, so the
+        epoch is column-read bound regardless of group size.
+        """
+        return self.timings.bitmap_generation_ns(head_dim)

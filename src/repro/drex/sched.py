@@ -1,0 +1,170 @@
+"""Discrete-event simulation of DReX offload scheduling (Section 7.2).
+
+The analytical engine (:mod:`repro.system.engine`) approximates per-layer
+DReX time as ``ceil(units / n_nmas) x unit``; this module simulates the
+actual DCC dispatch loop so that approximation can be validated and SLO
+attainment measured:
+
+- the DCC pops Request Descriptors in FIFO order and dispatches each
+  request's package-units to the per-package NMA queues;
+- each NMA serves its queue one unit at a time (one user/layer/head per
+  NMA at any instant, Section 7.4);
+- when a request's last unit finishes, the DCC aggregates partial top-k
+  lists and enqueues the response transfer on the (serialized) CXL link —
+  which is how value reads for early requests overlap compute of queued
+  ones (Section 9.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.drex.geometry import DrexGeometry, DREX_DEFAULT
+
+
+@dataclasses.dataclass
+class OffloadJob:
+    """One sparse-attention request (one user, one layer)."""
+
+    job_id: int
+    arrival_ns: float
+    #: (package index, device compute ns) per unit of work; a unit is one
+    #: head's slice segment.
+    units: Sequence[tuple]
+    #: Response serialization time on the CXL link (latency excluded).
+    value_transfer_ns: float = 0.0
+
+
+@dataclasses.dataclass
+class JobResult:
+    """Completion record for one job."""
+
+    job_id: int
+    arrival_ns: float
+    compute_done_ns: float
+    finish_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.finish_ns - self.arrival_ns
+
+
+@dataclasses.dataclass
+class SimOutcome:
+    """Aggregate simulation results."""
+
+    results: List[JobResult]
+    makespan_ns: float
+    nma_busy_ns: Dict[int, float]
+    cxl_busy_ns: float
+
+    def latencies_ns(self) -> List[float]:
+        return [r.latency_ns for r in self.results]
+
+    def mean_latency_ns(self) -> float:
+        lats = self.latencies_ns()
+        return sum(lats) / len(lats) if lats else 0.0
+
+    def p99_latency_ns(self) -> float:
+        lats = sorted(self.latencies_ns())
+        if not lats:
+            return 0.0
+        return lats[min(len(lats) - 1, int(0.99 * len(lats)))]
+
+    def slo_attainment(self, slo_ns: float) -> float:
+        """Fraction of jobs finishing within ``slo_ns`` of arrival."""
+        lats = self.latencies_ns()
+        if not lats:
+            return 1.0
+        return sum(1 for lat in lats if lat <= slo_ns) / len(lats)
+
+    def nma_utilization(self) -> float:
+        if self.makespan_ns <= 0:
+            return 0.0
+        return sum(self.nma_busy_ns.values()) / (
+            len(self.nma_busy_ns) * self.makespan_ns)
+
+
+class DrexScheduler:
+    """Event-driven model of DCC dispatch + NMA queues + CXL responses."""
+
+    def __init__(self, geometry: DrexGeometry = DREX_DEFAULT) -> None:
+        self.geometry = geometry
+
+    def simulate(self, jobs: Sequence[OffloadJob]) -> SimOutcome:
+        """Run all jobs to completion.
+
+        Dispatch policy: FIFO per package queue (units are enqueued in job
+        arrival order); the CXL response link serves completed requests in
+        compute-completion order.
+        """
+        n = self.geometry.n_nmas
+        nma_free_at = [0.0] * n
+        nma_busy: Dict[int, float] = {i: 0.0 for i in range(n)}
+        # Build per-package FIFO unit queues in arrival order.
+        ordered = sorted(jobs, key=lambda j: (j.arrival_ns, j.job_id))
+        queues: List[List[tuple]] = [[] for _ in range(n)]
+        remaining: Dict[int, int] = {}
+        for job in ordered:
+            remaining[job.job_id] = len(job.units)
+            for package, compute_ns in job.units:
+                queues[package % n].append((job.arrival_ns, job.job_id,
+                                            compute_ns))
+        compute_done: Dict[int, float] = {}
+        # Serve each NMA queue respecting arrival times.
+        for package, queue in enumerate(queues):
+            clock = 0.0
+            for arrival_ns, job_id, compute_ns in queue:
+                start = max(clock, arrival_ns)
+                clock = start + compute_ns
+                nma_busy[package] += compute_ns
+                compute_done[job_id] = max(compute_done.get(job_id, 0.0),
+                                           clock)
+                remaining[job_id] -= 1
+        by_job = {job.job_id: job for job in jobs}
+        for job in ordered:
+            if remaining[job.job_id] != 0:
+                raise RuntimeError("scheduler lost a unit")
+            if job.job_id not in compute_done:  # job with no units
+                compute_done[job.job_id] = job.arrival_ns
+
+        # CXL responses: serialized link, served in compute-done order.
+        cxl_clock = 0.0
+        cxl_busy = 0.0
+        results = []
+        for job_id in sorted(compute_done,
+                             key=lambda j: (compute_done[j], j)):
+            job = by_job[job_id]
+            start = max(cxl_clock, compute_done[job_id])
+            finish = start + job.value_transfer_ns
+            cxl_busy += job.value_transfer_ns
+            cxl_clock = finish
+            results.append(JobResult(job_id=job_id,
+                                     arrival_ns=job.arrival_ns,
+                                     compute_done_ns=compute_done[job_id],
+                                     finish_ns=finish))
+        makespan = max((r.finish_ns for r in results), default=0.0)
+        return SimOutcome(results=results, makespan_ns=makespan,
+                          nma_busy_ns=nma_busy, cxl_busy_ns=cxl_busy)
+
+
+def decode_step_jobs(n_users: int, unit_compute_ns: float,
+                     n_units_per_user: int, value_transfer_ns: float,
+                     geometry: DrexGeometry = DREX_DEFAULT,
+                     stagger_ns: float = 0.0) -> List[OffloadJob]:
+    """Jobs for one decode layer: every user submits one request.
+
+    Units are placed on packages the way the allocator does: user ``u``'s
+    unit ``i`` lands on package ``(u + i) % n_packages`` (head spreading
+    plus chaining).  ``stagger_ns`` models GPU-side submission spacing.
+    """
+    jobs = []
+    for user in range(n_users):
+        units = [((user + i) % geometry.n_packages, unit_compute_ns)
+                 for i in range(n_units_per_user)]
+        jobs.append(OffloadJob(job_id=user, arrival_ns=user * stagger_ns,
+                               units=units,
+                               value_transfer_ns=value_transfer_ns))
+    return jobs

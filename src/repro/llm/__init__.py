@@ -1,0 +1,42 @@
+"""Decoder-only transformer substrate (numpy).
+
+This subpackage is the stand-in for the paper's HuggingFace Llama-3 models.
+It implements the same architecture family (GQA attention, RoPE positional
+embeddings, RMSNorm, SwiGLU feed-forward) entirely in numpy, together with a
+small reverse-mode autograd engine and an Adam training loop so that
+miniature models can be *trained* (not just randomly initialized) before the
+sparse-attention experiments run on them.
+
+Public entry points:
+
+- :class:`repro.llm.config.ModelConfig` and the presets in
+  :mod:`repro.llm.config` (paper-scale and simulation-scale).
+- :class:`repro.llm.model.Transformer` — inference model with pluggable
+  attention backends and a KV cache.
+- :class:`repro.llm.training.Trainer` — trains a model on a token stream.
+- :func:`repro.llm.perplexity.perplexity` — long-context perplexity.
+- :func:`repro.llm.zoo.trained_model` — cached, deterministic trained
+  miniatures used by the benchmarks.
+"""
+
+from repro.llm.config import (
+    ModelConfig,
+    LLAMA3_1B,
+    LLAMA3_8B,
+    LLAMA_SIM_SMALL,
+    LLAMA_SIM_BASE,
+)
+from repro.llm.model import Transformer
+from repro.llm.kv_cache import KVCache
+from repro.llm.perplexity import perplexity
+
+__all__ = [
+    "ModelConfig",
+    "LLAMA3_1B",
+    "LLAMA3_8B",
+    "LLAMA_SIM_SMALL",
+    "LLAMA_SIM_BASE",
+    "Transformer",
+    "KVCache",
+    "perplexity",
+]

@@ -1,0 +1,151 @@
+"""Model configurations.
+
+Two tiers of configuration live here:
+
+- Paper-scale presets (:data:`LLAMA3_1B`, :data:`LLAMA3_8B`) mirror Table 1
+  of the paper. They are used by the analytical performance model, which
+  never executes the network and therefore can afford the real dimensions.
+- Simulation-scale presets (:data:`LLAMA_SIM_SMALL`, :data:`LLAMA_SIM_BASE`)
+  are architecturally identical miniatures (same GQA ratio, RoPE, SwiGLU)
+  that are small enough to train and evaluate in numpy. The algorithm-level
+  experiments (filter ratio, perplexity trade-offs) run on these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters for a decoder-only transformer.
+
+    Attributes mirror the Llama-3 family: ``n_q_heads`` query heads share
+    ``n_kv_heads`` key/value heads (grouped-query attention), every head has
+    dimension ``head_dim``, and the model dimension is
+    ``n_q_heads * head_dim``.
+    """
+
+    name: str
+    vocab_size: int
+    n_layers: int
+    n_q_heads: int
+    n_kv_heads: int
+    head_dim: int
+    d_ff: int
+    rope_theta: float = 10000.0
+    norm_eps: float = 1e-5
+    dtype_bytes: int = 2  # BF16 storage, as in the paper's Table 1.
+    tie_embeddings: bool = True
+    #: Add bias terms to the Q/K projections.  The simulation-scale models
+    #: enable this to induce the *clustered key distribution* the paper
+    #: observes in Llama-3 (Section 5.4) — a pre-RoPE key bias survives in
+    #: the low-frequency RoPE dimensions, skewing sign bits exactly the way
+    #: ITQ is designed to fix.  Tiny isotropic models trained from Gaussian
+    #: init stay sign-balanced otherwise, which would make the ITQ
+    #: experiments vacuous.
+    qk_bias: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_q_heads % self.n_kv_heads != 0:
+            raise ValueError(
+                f"n_q_heads ({self.n_q_heads}) must be a multiple of "
+                f"n_kv_heads ({self.n_kv_heads})"
+            )
+        if self.head_dim % 2 != 0:
+            raise ValueError("head_dim must be even for RoPE")
+
+    @property
+    def d_model(self) -> int:
+        """Model (residual stream) dimension."""
+        return self.n_q_heads * self.head_dim
+
+    @property
+    def gqa_group_size(self) -> int:
+        """Number of query heads sharing each KV head."""
+        return self.n_q_heads // self.n_kv_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key (or value) dimension per token, across KV heads."""
+        return self.n_kv_heads * self.head_dim
+
+    def kv_bytes_per_token(self) -> int:
+        """Bytes of KV cache appended per token (keys + values, all layers)."""
+        return 2 * self.kv_dim * self.dtype_bytes * self.n_layers
+
+    def n_params(self) -> int:
+        """Approximate parameter count (weights only, no biases)."""
+        d = self.d_model
+        per_layer = (
+            d * self.n_q_heads * self.head_dim  # Wq
+            + 2 * d * self.kv_dim  # Wk, Wv
+            + self.n_q_heads * self.head_dim * d  # Wo
+            + 3 * d * self.d_ff  # W1 (gate), W3 (up), W2 (down)
+            + 2 * d  # norms
+        )
+        embed = self.vocab_size * d
+        head = 0 if self.tie_embeddings else self.vocab_size * d
+        return embed + head + self.n_layers * per_layer + d  # final norm
+
+
+# --- Paper-scale presets (Table 1) -----------------------------------------
+
+LLAMA3_1B = ModelConfig(
+    name="llama-3-1b",
+    vocab_size=128_256,
+    n_layers=16,
+    n_q_heads=32,
+    n_kv_heads=8,
+    head_dim=64,
+    d_ff=8192,
+    rope_theta=500000.0,
+)
+
+LLAMA3_8B = ModelConfig(
+    name="llama-3-8b",
+    vocab_size=128_256,
+    n_layers=32,
+    n_q_heads=32,
+    n_kv_heads=8,
+    head_dim=128,
+    d_ff=14336,
+    rope_theta=500000.0,
+)
+
+# --- Simulation-scale presets ----------------------------------------------
+# Architecturally faithful miniatures: GQA with a 4:1 query:KV head ratio
+# (matching Llama-3's 32:8), RoPE, SwiGLU.  SMALL stands in for Llama-3-1B
+# and BASE for Llama-3-8B in the algorithm experiments; BASE has double the
+# head dimension, mirroring the 64 -> 128 step between the real models.
+
+LLAMA_SIM_SMALL = ModelConfig(
+    name="llama-sim-small",
+    vocab_size=512,
+    n_layers=3,
+    n_q_heads=8,
+    n_kv_heads=2,
+    head_dim=16,
+    d_ff=256,
+    qk_bias=True,
+)
+
+LLAMA_SIM_BASE = ModelConfig(
+    name="llama-sim-base",
+    vocab_size=512,
+    n_layers=4,
+    n_q_heads=8,
+    n_kv_heads=2,
+    head_dim=32,
+    d_ff=512,
+    qk_bias=True,
+)
+
+PAPER_MODELS = {m.name: m for m in (LLAMA3_1B, LLAMA3_8B)}
+SIM_MODELS = {m.name: m for m in (LLAMA_SIM_SMALL, LLAMA_SIM_BASE)}
+
+#: Which miniature stands in for which paper model in algorithm experiments.
+SIM_FOR_PAPER = {
+    "llama-3-1b": LLAMA_SIM_SMALL,
+    "llama-3-8b": LLAMA_SIM_BASE,
+}

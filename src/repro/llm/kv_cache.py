@@ -1,0 +1,126 @@
+"""Per-layer, per-KV-head key/value cache.
+
+The cache is the object LongSight splits in two: the most recent ``W``
+entries stay "on the GPU" (dense window) while the remainder is offloaded to
+DReX.  :meth:`KVCache.window_view` and :meth:`KVCache.offloaded_view` expose
+exactly that split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.config import ModelConfig
+
+
+class LayerKV:
+    """Growable K/V store for one decoder layer.
+
+    Keys and values are stored as ``(n_kv_heads, n_tokens, head_dim)``
+    arrays.  Appending amortizes reallocation by doubling capacity.
+    """
+
+    def __init__(self, n_kv_heads: int, head_dim: int,
+                 initial_capacity: int = 64) -> None:
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self._capacity = max(1, initial_capacity)
+        self._len = 0
+        self._k = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=np.float64)
+        self._v = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=np.float64)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _grow(self, needed: int) -> None:
+        new_cap = self._capacity
+        while new_cap < needed:
+            new_cap *= 2
+        k = np.zeros((self.n_kv_heads, new_cap, self.head_dim), dtype=np.float64)
+        v = np.zeros_like(k)
+        k[:, : self._len] = self._k[:, : self._len]
+        v[:, : self._len] = self._v[:, : self._len]
+        self._k, self._v, self._capacity = k, v, new_cap
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append keys/values for one or more tokens.
+
+        ``k`` and ``v`` have shape ``(n_kv_heads, n_new, head_dim)``.
+        """
+        if k.shape != v.shape:
+            raise ValueError("key and value shapes must match")
+        if k.shape[0] != self.n_kv_heads or k.shape[2] != self.head_dim:
+            raise ValueError(
+                f"expected (n_kv_heads={self.n_kv_heads}, n, "
+                f"head_dim={self.head_dim}), got {k.shape}"
+            )
+        n_new = k.shape[1]
+        if self._len + n_new > self._capacity:
+            self._grow(self._len + n_new)
+        self._k[:, self._len : self._len + n_new] = k
+        self._v[:, self._len : self._len + n_new] = v
+        self._len += n_new
+
+    @property
+    def keys(self) -> np.ndarray:
+        """``(n_kv_heads, n_tokens, head_dim)`` view of all keys."""
+        return self._k[:, : self._len]
+
+    @property
+    def values(self) -> np.ndarray:
+        """``(n_kv_heads, n_tokens, head_dim)`` view of all values."""
+        return self._v[:, : self._len]
+
+
+class KVCache:
+    """KV cache spanning all decoder layers for one user/sequence."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+        self.layers = [
+            LayerKV(config.n_kv_heads, config.head_dim)
+            for _ in range(config.n_layers)
+        ]
+
+    def __len__(self) -> int:
+        """Number of cached tokens (identical across layers)."""
+        return len(self.layers[0])
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        self.layers[layer].append(k, v)
+
+    def window_view(self, layer: int, window: int,
+                    n_sink: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(keys, values, positions) of the dense region: sinks + recent window.
+
+        Mirrors what LongSight keeps in GPU HBM: ``n_sink`` attention-sink
+        tokens from the start of the context plus the ``window`` most recent
+        tokens.  Regions are clipped, never overlapping: if the context is
+        shorter than ``n_sink + window`` everything is dense.
+        """
+        n = len(self.layers[layer])
+        kv = self.layers[layer]
+        if n <= n_sink + window:
+            pos = np.arange(n)
+            return kv.keys, kv.values, pos
+        sink_pos = np.arange(n_sink)
+        recent_pos = np.arange(n - window, n)
+        pos = np.concatenate([sink_pos, recent_pos])
+        k = kv.keys[:, pos]
+        v = kv.values[:, pos]
+        return k, v, pos
+
+    def offloaded_view(self, layer: int, window: int,
+                       n_sink: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(keys, values, positions) of the sparse region offloaded to DReX.
+
+        Complement of :meth:`window_view`: tokens that are neither sinks nor
+        inside the recent window.  Empty if the context fits densely.
+        """
+        n = len(self.layers[layer])
+        kv = self.layers[layer]
+        if n <= n_sink + window:
+            empty_k = kv.keys[:, :0]
+            return empty_k, empty_k.copy(), np.arange(0)
+        pos = np.arange(n_sink, n - window)
+        return kv.keys[:, pos], kv.values[:, pos], pos

@@ -1,0 +1,292 @@
+"""The transformer substrate: weights, inference model, trainable model.
+
+Three pieces live here:
+
+- :func:`init_weights` — deterministic weight initialization shared by the
+  inference and training paths.
+- :class:`Transformer` — plain-numpy inference model with a pluggable
+  attention backend (dense by default; LongSight's hybrid backend plugs in
+  here, mirroring how the paper replaces the HuggingFace attention module
+  with ``LongSightAttn``).
+- :class:`TrainableTransformer` — autograd-based twin used only for the
+  brief pre-training that gives the miniature models realistic attention
+  structure.  Its forward pass is verified to match :class:`Transformer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+import numpy as np
+
+from repro.llm import autograd as ag
+from repro.llm import ops
+from repro.llm.config import ModelConfig
+from repro.llm.kv_cache import KVCache
+from repro.llm.rope import apply_rope
+
+Weights = Dict[str, np.ndarray]
+
+
+def init_weights(config: ModelConfig, seed: int = 0) -> Weights:
+    """Gaussian-initialized weights for ``config`` (std 0.02, seeded)."""
+    rng = np.random.default_rng(seed)
+    d = config.d_model
+
+    def w(*shape: int) -> np.ndarray:
+        return rng.normal(0.0, 0.02, size=shape)
+
+    weights: Weights = {"embed": w(config.vocab_size, d), "final_norm": np.ones(d)}
+    if not config.tie_embeddings:
+        weights["lm_head"] = w(d, config.vocab_size)
+    for i in range(config.n_layers):
+        weights[f"attn_norm.{i}"] = np.ones(d)
+        weights[f"ffn_norm.{i}"] = np.ones(d)
+        weights[f"wq.{i}"] = w(d, config.n_q_heads * config.head_dim)
+        weights[f"wk.{i}"] = w(d, config.kv_dim)
+        weights[f"wv.{i}"] = w(d, config.kv_dim)
+        if config.qk_bias:
+            # A deliberate offset: induces the clustered (sign-imbalanced)
+            # key geometry of real Llama checkpoints (see ModelConfig).
+            weights[f"bq.{i}"] = rng.normal(0.0, 0.3,
+                                            config.n_q_heads * config.head_dim)
+            weights[f"bk.{i}"] = rng.normal(0.4, 0.3, config.kv_dim)
+        weights[f"wo.{i}"] = w(config.n_q_heads * config.head_dim, d)
+        weights[f"w_gate.{i}"] = w(d, config.d_ff)
+        weights[f"w_up.{i}"] = w(d, config.d_ff)
+        weights[f"w_down.{i}"] = w(config.d_ff, d)
+    return weights
+
+
+class AttentionBackend(Protocol):
+    """Per-layer attention strategy.
+
+    The model hands the backend post-RoPE queries for the *new* tokens and
+    the full post-RoPE key/value history (GQA layout); the backend returns
+    per-query-head outputs.  This is the seam where LongSight replaces dense
+    attention.
+    """
+
+    def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                v: np.ndarray) -> np.ndarray:
+        """Compute attention outputs.
+
+        Args:
+            layer: decoder layer index.
+            q: ``(n_q_heads, n_new, head_dim)`` queries; query ``t`` sits at
+                absolute position ``n_ctx - n_new + t``.
+            k: ``(n_kv_heads, n_ctx, head_dim)`` full key history.
+            v: ``(n_kv_heads, n_ctx, head_dim)`` full value history.
+
+        Returns:
+            ``(n_q_heads, n_new, head_dim)`` outputs.
+        """
+        ...
+
+
+class DenseBackend:
+    """Reference dense causal attention (the paper's GPU-only baseline)."""
+
+    def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                v: np.ndarray) -> np.ndarray:
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        mask = ops.causal_mask(n_new, n_ctx)
+        scale = 1.0 / np.sqrt(head_dim)
+        out = np.empty_like(q)
+        for h in range(n_q_heads):
+            kv_h = h // group
+            scores = (q[h] @ k[kv_h].T) * scale
+            scores = np.where(mask, scores, -np.inf)
+            out[h] = ops.softmax(scores, axis=-1) @ v[kv_h]
+        return out
+
+
+class Transformer:
+    """Inference-only decoder-only transformer.
+
+    Supports two modes:
+
+    - :meth:`forward_full` — teacher-forced pass over a whole sequence,
+      used for perplexity evaluation (queries can be processed in blocks so
+      sparse backends stay vectorized).
+    - :meth:`prefill` / :meth:`decode_step` — KV-cache-based generation.
+    """
+
+    def __init__(self, config: ModelConfig, weights: Optional[Weights] = None,
+                 seed: int = 0) -> None:
+        self.config = config
+        self.weights = weights if weights is not None else init_weights(config, seed)
+
+    # -- shared per-layer math ------------------------------------------------
+
+    def _qkv(self, layer: int, x: np.ndarray,
+             positions: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project ``x`` (n, d_model) to post-RoPE q/k and raw v (head-major)."""
+        c, w = self.config, self.weights
+        q = x @ w[f"wq.{layer}"]
+        k = x @ w[f"wk.{layer}"]
+        v = x @ w[f"wv.{layer}"]
+        if c.qk_bias:
+            q = q + w[f"bq.{layer}"]
+            k = k + w[f"bk.{layer}"]
+        n = x.shape[0]
+        q = q.reshape(n, c.n_q_heads, c.head_dim).transpose(1, 0, 2)
+        k = k.reshape(n, c.n_kv_heads, c.head_dim).transpose(1, 0, 2)
+        v = v.reshape(n, c.n_kv_heads, c.head_dim).transpose(1, 0, 2)
+        q = apply_rope(q, positions, c.rope_theta)
+        k = apply_rope(k, positions, c.rope_theta)
+        return q, k, v
+
+    def _layer(self, layer: int, x: np.ndarray, positions: np.ndarray,
+               cache: KVCache, backend: AttentionBackend) -> np.ndarray:
+        c, w = self.config, self.weights
+        h = ops.rms_norm(x, w[f"attn_norm.{layer}"], c.norm_eps)
+        q, k, v = self._qkv(layer, h, positions)
+        cache.append(layer, k, v)
+        attn = backend.forward(layer, q, cache.layers[layer].keys,
+                               cache.layers[layer].values)
+        n = x.shape[0]
+        attn = attn.transpose(1, 0, 2).reshape(n, c.n_q_heads * c.head_dim)
+        x = x + attn @ w[f"wo.{layer}"]
+        h = ops.rms_norm(x, w[f"ffn_norm.{layer}"], c.norm_eps)
+        x = x + ops.swiglu(h, w[f"w_gate.{layer}"], w[f"w_up.{layer}"],
+                           w[f"w_down.{layer}"])
+        return x
+
+    def _unembed(self, x: np.ndarray) -> np.ndarray:
+        c, w = self.config, self.weights
+        x = ops.rms_norm(x, w["final_norm"], c.norm_eps)
+        head = w["embed"].T if c.tie_embeddings else w["lm_head"]
+        return x @ head
+
+    # -- public API -------------------------------------------------------------
+
+    def forward_full(self, tokens: np.ndarray,
+                     backend: Optional[AttentionBackend] = None,
+                     block_size: int = 256) -> np.ndarray:
+        """Teacher-forced logits for every position of ``tokens``.
+
+        The sequence is fed through in query blocks of ``block_size`` with a
+        growing KV cache, so backends see exactly the causal structure they
+        would during generation while staying vectorized.
+
+        Returns:
+            ``(len(tokens), vocab)`` logits.
+        """
+        backend = backend or DenseBackend()
+        tokens = np.asarray(tokens)
+        n = len(tokens)
+        cache = KVCache(self.config)
+        logits = np.empty((n, self.config.vocab_size))
+        for start in range(0, n, block_size):
+            stop = min(start + block_size, n)
+            x = self.weights["embed"][tokens[start:stop]]
+            positions = np.arange(start, stop)
+            for layer in range(self.config.n_layers):
+                x = self._layer(layer, x, positions, cache, backend)
+            logits[start:stop] = self._unembed(x)
+        return logits
+
+    def prefill(self, tokens: np.ndarray, cache: KVCache,
+                backend: Optional[AttentionBackend] = None,
+                block_size: int = 256) -> np.ndarray:
+        """Populate ``cache`` from a prompt; return logits of the last token."""
+        backend = backend or DenseBackend()
+        tokens = np.asarray(tokens)
+        start0 = len(cache)
+        last = None
+        for start in range(0, len(tokens), block_size):
+            stop = min(start + block_size, len(tokens))
+            x = self.weights["embed"][tokens[start:stop]]
+            positions = np.arange(start0 + start, start0 + stop)
+            for layer in range(self.config.n_layers):
+                x = self._layer(layer, x, positions, cache, backend)
+            last = x[-1:]
+        return self._unembed(last)[0]
+
+    def decode_step(self, token: int, cache: KVCache,
+                    backend: Optional[AttentionBackend] = None) -> np.ndarray:
+        """One autoregressive step; returns next-token logits ``(vocab,)``."""
+        backend = backend or DenseBackend()
+        x = self.weights["embed"][np.asarray([token])]
+        positions = np.arange(len(cache), len(cache) + 1)
+        for layer in range(self.config.n_layers):
+            x = self._layer(layer, x, positions, cache, backend)
+        return self._unembed(x)[0]
+
+
+class TrainableTransformer:
+    """Autograd twin of :class:`Transformer`, dense attention only."""
+
+    def __init__(self, config: ModelConfig, weights: Optional[Weights] = None,
+                 seed: int = 0) -> None:
+        self.config = config
+        base = weights if weights is not None else init_weights(config, seed)
+        self.params: Dict[str, ag.Tensor] = {
+            name: ag.Tensor(value, requires_grad=True)
+            for name, value in base.items()
+        }
+
+    def export_weights(self) -> Weights:
+        """Plain-numpy weights consumable by :class:`Transformer`."""
+        return {name: p.data.copy() for name, p in self.params.items()}
+
+    def _rope(self, x: ag.Tensor, positions: np.ndarray) -> ag.Tensor:
+        from repro.llm.rope import rope_cos_sin
+
+        half = self.config.head_dim // 2
+        cos, sin = rope_cos_sin(positions, self.config.head_dim,
+                                self.config.rope_theta)
+        x1 = x[..., :half]
+        x2 = x[..., half:]
+        return ag.concat([x1 * cos - x2 * sin, x2 * cos + x1 * sin], axis=-1)
+
+    def forward(self, tokens: np.ndarray) -> ag.Tensor:
+        """Logits for a batch: ``tokens (B, T)`` -> Tensor ``(B, T, vocab)``."""
+        c, p = self.config, self.params
+        tokens = np.asarray(tokens)
+        batch, t = tokens.shape
+        positions = np.arange(t)
+        mask_bias = np.where(ops.causal_mask(t, t), 0.0, -1e9)
+        scale = 1.0 / np.sqrt(c.head_dim)
+        kv_map = np.repeat(np.arange(c.n_kv_heads), c.gqa_group_size)
+
+        x = ag.embedding(p["embed"], tokens)
+        for i in range(c.n_layers):
+            h = ag.rms_norm(x, p[f"attn_norm.{i}"], c.norm_eps)
+            q = h @ p[f"wq.{i}"]
+            k = h @ p[f"wk.{i}"]
+            v = h @ p[f"wv.{i}"]
+            if c.qk_bias:
+                q = q + p[f"bq.{i}"]
+                k = k + p[f"bk.{i}"]
+            q = q.reshape(batch, t, c.n_q_heads, c.head_dim)
+            k = k.reshape(batch, t, c.n_kv_heads, c.head_dim)
+            v = v.reshape(batch, t, c.n_kv_heads, c.head_dim)
+            q = q.transpose(0, 2, 1, 3)  # (B, Hq, T, dh)
+            k = k.transpose(0, 2, 1, 3)
+            v = v.transpose(0, 2, 1, 3)
+            q = self._rope(q, positions)
+            k = self._rope(k, positions)
+            k = k[:, kv_map]  # GQA: expand KV heads to query heads
+            v = v[:, kv_map]
+            scores = (q @ k.swapaxes(-1, -2)) * scale + mask_bias
+            attn = scores.softmax(axis=-1) @ v
+            attn = attn.transpose(0, 2, 1, 3).reshape(
+                batch, t, c.n_q_heads * c.head_dim)
+            x = x + attn @ p[f"wo.{i}"]
+            h = ag.rms_norm(x, p[f"ffn_norm.{i}"], c.norm_eps)
+            ffn = ((h @ p[f"w_gate.{i}"]).silu() * (h @ p[f"w_up.{i}"])) \
+                @ p[f"w_down.{i}"]
+            x = x + ffn
+        x = ag.rms_norm(x, p["final_norm"], c.norm_eps)
+        if c.tie_embeddings:
+            return x @ p["embed"].swapaxes(0, 1)
+        return x @ p["lm_head"]
+
+    def loss(self, tokens: np.ndarray) -> ag.Tensor:
+        """Next-token cross-entropy over a batch ``(B, T)``."""
+        logits = self.forward(tokens[:, :-1])
+        return ag.softmax_cross_entropy(logits, tokens[:, 1:])

@@ -1,0 +1,54 @@
+"""Long-context perplexity evaluation (the paper's primary quality metric).
+
+Section 8.1.1: perplexity over long contiguous sequences is used instead of
+downstream tasks because it scales to arbitrary context lengths and directly
+measures whether the model exploits the full context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.llm.model import AttentionBackend, Transformer
+from repro.llm.ops import log_softmax
+
+
+def nll_per_token(model: Transformer, tokens: np.ndarray,
+                  backend: Optional[AttentionBackend] = None,
+                  block_size: int = 256,
+                  burn_in: int = 0) -> np.ndarray:
+    """Per-position negative log-likelihood of the next token.
+
+    Position ``t`` scores the prediction of ``tokens[t + 1]`` given
+    ``tokens[: t + 1]``.  The first ``burn_in`` predictions are dropped
+    (useful to exclude the cold-start region when comparing backends).
+
+    Returns:
+        1-D array of length ``len(tokens) - 1 - burn_in``.
+    """
+    tokens = np.asarray(tokens)
+    logits = model.forward_full(tokens, backend=backend, block_size=block_size)
+    logp = log_softmax(logits[:-1], axis=-1)
+    nll = -logp[np.arange(len(tokens) - 1), tokens[1:]]
+    return nll[burn_in:]
+
+
+def perplexity(model: Transformer, tokens: np.ndarray,
+               backend: Optional[AttentionBackend] = None,
+               block_size: int = 256,
+               burn_in: int = 0) -> float:
+    """exp(mean NLL) of ``tokens`` under ``model`` with ``backend``."""
+    return float(np.exp(np.mean(
+        nll_per_token(model, tokens, backend, block_size, burn_in))))
+
+
+def perplexity_increase(sparse_ppl: float, dense_ppl: float) -> float:
+    """Relative perplexity increase of a sparse configuration over dense.
+
+    The paper's quality gates are phrased this way: "perplexity is within 5%
+    of full dense attention" (Figure 3) and "a 1% perplexity increase"
+    (Section 5.4).
+    """
+    return sparse_ppl / dense_ppl - 1.0

@@ -1,0 +1,69 @@
+"""BF16 storage emulation.
+
+Table 1 lists BF16 quantization for both models, and Section 4 notes that
+in-memory sign filtering "is compatible with any signed data type" —
+because BF16 shares IEEE-754's sign bit, rounding K/V to BF16 never changes
+a sign bit, so SCF behaves identically on quantized and full-precision
+keys (property-tested in ``tests/llm/test_quant.py``).
+
+Numpy has no native bfloat16; we emulate it exactly by truncating/rounding
+a float32 to its upper 16 bits (round-to-nearest-even on the dropped
+mantissa bits), then viewing back as float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def to_bf16(x: np.ndarray) -> np.ndarray:
+    """Round to bfloat16 precision (returned as float32-compatible array).
+
+    Uses round-to-nearest-even on the low 16 mantissa bits, matching
+    hardware BF16 conversion.
+    """
+    f32 = np.asarray(x, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    # Round-to-nearest-even: add 0x7FFF + LSB of the surviving mantissa.
+    lsb = (bits >> 16) & 1
+    rounded = bits + 0x7FFF + lsb
+    out = (rounded & 0xFFFF0000).view(np.float32)
+    # Preserve NaN/Inf payloads (the rounding add could overflow them).
+    special = ~np.isfinite(f32)
+    if special.any():
+        out = np.where(special, (bits & 0xFFFF0000).view(np.float32), out)
+    return out.astype(np.float64)
+
+
+def bf16_error_bound(x: np.ndarray) -> np.ndarray:
+    """Elementwise upper bound on |x - bf16(x)|: half a ULP at 8 mantissa
+    bits, i.e. ``|x| * 2^-8``."""
+    return np.abs(np.asarray(x)) * 2.0 ** -8
+
+
+class Bf16KVStore:
+    """A drop-in wrapper that stores appended K/V blocks at BF16 precision.
+
+    Used by experiments that want the storage datatype of the paper's
+    system while the compute path stays float64.
+    """
+
+    def __init__(self) -> None:
+        self._keys: list[np.ndarray] = []
+        self._values: list[np.ndarray] = []
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self._keys.append(to_bf16(keys))
+        self._values.append(to_bf16(values))
+
+    @property
+    def keys(self) -> np.ndarray:
+        return np.concatenate(self._keys) if self._keys else np.empty((0, 0))
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.concatenate(self._values) if self._values \
+            else np.empty((0, 0))
+
+    def __len__(self) -> int:
+        return sum(len(k) for k in self._keys)

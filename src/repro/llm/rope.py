@@ -1,0 +1,56 @@
+"""Rotary positional embeddings (RoPE), rotate-half convention.
+
+The paper's models apply RoPE to queries and keys before attention; this
+matters to LongSight because ITQ must be applied *after* RoPE (Section 5.4:
+"positional embeddings break distance invariance, ITQ cannot be fused into
+the linear projection layers").
+
+We use the rotate-half convention (as in the reference Llama code): the head
+dimension is split into two halves ``(x1, x2)`` and position ``p`` rotates
+plane ``i`` (formed by dims ``i`` and ``i + d/2``) by angle
+``p * theta^(-2i/d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rope_frequencies(head_dim: int, theta: float = 10000.0) -> np.ndarray:
+    """Per-plane inverse frequencies, shape ``(head_dim // 2,)``."""
+    exponents = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+    return theta ** -exponents
+
+
+def rope_cos_sin(positions: np.ndarray, head_dim: int,
+                 theta: float = 10000.0) -> tuple[np.ndarray, np.ndarray]:
+    """cos/sin tables for ``positions``; each has shape ``(n, head_dim//2)``."""
+    freqs = rope_frequencies(head_dim, theta)
+    angles = np.asarray(positions, dtype=np.float64)[:, None] * freqs[None, :]
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray,
+               theta: float = 10000.0) -> np.ndarray:
+    """Rotate ``x`` by its positions.
+
+    Args:
+        x: ``(..., n, head_dim)`` queries or keys; the second-to-last axis
+            indexes tokens.
+        positions: ``(n,)`` integer positions of those tokens.
+        theta: RoPE base.
+
+    Returns:
+        Array of the same shape.  With halves ``x1 = x[..., :d/2]`` and
+        ``x2 = x[..., d/2:]``, the result is
+        ``[x1 * cos - x2 * sin, x2 * cos + x1 * sin]``.
+    """
+    head_dim = x.shape[-1]
+    half = head_dim // 2
+    cos, sin = rope_cos_sin(positions, head_dim, theta)
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    out = np.empty(x.shape, dtype=np.float64)
+    out[..., :half] = x1 * cos - x2 * sin
+    out[..., half:] = x2 * cos + x1 * sin
+    return out

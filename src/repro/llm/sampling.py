@@ -1,0 +1,35 @@
+"""Token sampling for the example applications."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.llm.kv_cache import KVCache
+from repro.llm.model import AttentionBackend, Transformer
+from repro.llm.ops import softmax
+
+
+def generate(model: Transformer, prompt: np.ndarray, n_new: int,
+             backend: Optional[AttentionBackend] = None,
+             temperature: float = 0.0, seed: int = 0,
+             cache: Optional[KVCache] = None) -> np.ndarray:
+    """Autoregressively generate ``n_new`` tokens after ``prompt``.
+
+    ``temperature == 0`` is greedy decoding; otherwise softmax sampling.
+    Returns only the newly generated tokens.
+    """
+    rng = np.random.default_rng(seed)
+    cache = cache if cache is not None else KVCache(model.config)
+    logits = model.prefill(np.asarray(prompt), cache, backend=backend)
+    out = []
+    for _ in range(n_new):
+        if temperature <= 0.0:
+            token = int(np.argmax(logits))
+        else:
+            probs = softmax(logits / temperature)
+            token = int(rng.choice(len(probs), p=probs))
+        out.append(token)
+        logits = model.decode_step(token, cache, backend=backend)
+    return np.asarray(out, dtype=np.int64)

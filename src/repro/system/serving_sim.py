@@ -1,0 +1,196 @@
+"""Multi-tenant serving simulation.
+
+Section 4 emphasizes that LongSight's KV "vector database" is unusually
+*dynamic*: per-user databases are created at prefill, grow every decode
+step, and disappear when the session ends.  This simulator exercises that
+dynamic regime end to end: sessions arrive over time with long prompts,
+are admitted when capacity allows (DReX bytes + HBM + DCC queue for
+LongSight; HBM only for GPU baselines), decode in synchronized batches
+with *heterogeneous* context lengths, and release capacity on completion.
+
+Time advances in decode steps whose duration comes from the analytical
+models' ``step_latency_s`` — the simulator composes them with arrival /
+admission / departure dynamics that the single-point Figure 7 analysis
+cannot capture (admission queueing delay, utilization over time).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.llm.config import ModelConfig
+
+
+class ServingSystem(Protocol):
+    """What the simulator needs from a system model."""
+
+    name: str
+
+    def admits(self, config: ModelConfig, contexts: Sequence[int]) -> bool:
+        ...
+
+    def step_latency_s(self, config: ModelConfig,
+                       contexts: Sequence[int]) -> float:
+        ...
+
+
+@dataclasses.dataclass
+class Session:
+    """One user request: a long prompt plus a decode budget."""
+
+    session_id: int
+    arrival_s: float
+    prompt_tokens: int
+    output_tokens: int
+
+    # -- filled by the simulator --
+    admitted_s: Optional[float] = None
+    ready_s: Optional[float] = None   # prefill complete, decoding begins
+    finished_s: Optional[float] = None
+    generated: int = 0
+
+    @property
+    def context(self) -> int:
+        """Current context length (prompt + generated so far)."""
+        return self.prompt_tokens + self.generated
+
+    @property
+    def queueing_delay_s(self) -> Optional[float]:
+        if self.admitted_s is None:
+            return None
+        return self.admitted_s - self.arrival_s
+
+
+def poisson_workload(n_sessions: int, arrival_rate_per_s: float,
+                     prompt_tokens: int, output_tokens: int,
+                     seed: int = 0,
+                     prompt_jitter: float = 0.25) -> List[Session]:
+    """A seeded Poisson arrival trace with jittered prompt lengths."""
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    sessions = []
+    for i in range(n_sessions):
+        t += rng.exponential(1.0 / arrival_rate_per_s)
+        jitter = 1.0 + prompt_jitter * (2 * rng.random() - 1)
+        sessions.append(Session(
+            session_id=i, arrival_s=t,
+            prompt_tokens=max(1, int(prompt_tokens * jitter)),
+            output_tokens=output_tokens))
+    return sessions
+
+
+@dataclasses.dataclass
+class ServingReport:
+    """Outcome of one simulation run."""
+
+    system: str
+    sessions: List[Session]
+    sim_time_s: float
+    tokens_generated: int
+    peak_concurrency: int
+
+    @property
+    def completed(self) -> List[Session]:
+        return [s for s in self.sessions if s.finished_s is not None]
+
+    @property
+    def throughput_tps(self) -> float:
+        return self.tokens_generated / self.sim_time_s if self.sim_time_s \
+            else 0.0
+
+    def mean_queueing_delay_s(self) -> float:
+        delays = [s.queueing_delay_s for s in self.sessions
+                  if s.queueing_delay_s is not None]
+        return float(np.mean(delays)) if delays else 0.0
+
+    def mean_session_latency_s(self) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return float(np.mean([s.finished_s - s.arrival_s for s in done]))
+
+
+class ServingSimulator:
+    """Batch-synchronous decode with admission control and departures.
+
+    Args:
+        prefill: optional :class:`repro.system.prefill.PrefillModel`; when
+            given, an admitted session occupies capacity immediately but
+            only joins the decode batch after its prefill latency (prefill
+            throughput is orders of magnitude above decode, Section 8.1.2,
+            so it is modeled as overlapping the ongoing decode).
+    """
+
+    def __init__(self, system: ServingSystem, config: ModelConfig,
+                 max_steps: int = 1_000_000, prefill=None) -> None:
+        self.system = system
+        self.config = config
+        self.max_steps = max_steps
+        self.prefill = prefill
+
+    def _prefill_s(self, session: Session) -> float:
+        if self.prefill is None:
+            return 0.0
+        ls = getattr(self.system, "ls", None)
+        return self.prefill.prefill(self.config, session.prompt_tokens,
+                                    ls=ls).total_s
+
+    def _try_admit(self, waiting: List[Session], active: List[Session],
+                   now: float) -> None:
+        """FIFO admission: admit the head of the queue while it fits."""
+        while waiting:
+            candidate = waiting[0]
+            if candidate.arrival_s > now:
+                break
+            contexts = [s.context for s in active] + [candidate.context]
+            if not self.system.admits(self.config, contexts):
+                break
+            candidate.admitted_s = now
+            candidate.ready_s = now + self._prefill_s(candidate)
+            active.append(candidate)
+            waiting.pop(0)
+
+    def run(self, sessions: Sequence[Session]) -> ServingReport:
+        """Simulate until every session completes (or max_steps)."""
+        waiting = sorted(sessions, key=lambda s: (s.arrival_s, s.session_id))
+        # Reject sessions that can never be admitted even alone.
+        for session in list(waiting):
+            if not self.system.admits(self.config, [session.prompt_tokens
+                                                    + session.output_tokens]):
+                waiting.remove(session)
+        active: List[Session] = []
+        now = 0.0
+        tokens = 0
+        peak = 0
+        for _ in range(self.max_steps):
+            self._try_admit(waiting, active, now)
+            decoding = [s for s in active if s.ready_s <= now]
+            if not decoding:
+                pending_times = [s.ready_s for s in active]
+                if waiting:
+                    pending_times.append(max(now, waiting[0].arrival_s))
+                if not pending_times:
+                    break
+                now = max(now, min(pending_times))
+                continue
+            peak = max(peak, len(decoding))
+            step = self.system.step_latency_s(
+                self.config, [s.context for s in decoding])
+            now += step
+            finished = []
+            for session in decoding:
+                session.generated += 1
+                tokens += 1
+                if session.generated >= session.output_tokens:
+                    session.finished_s = now
+                    finished.append(session)
+            for session in finished:
+                active.remove(session)
+        return ServingReport(system=self.system.name,
+                             sessions=list(sessions), sim_time_s=now,
+                             tokens_generated=tokens,
+                             peak_concurrency=peak)

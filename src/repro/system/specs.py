@@ -1,0 +1,80 @@
+"""Hardware specifications (Table 2).
+
+| Device | Description                                                    |
+|--------|----------------------------------------------------------------|
+| CPU    | 16 x Intel Xeon Max 9462 @ 3.5 GHz, 8 x 128 GB DDR5-4400       |
+| GPU    | NVIDIA H100 SXM, 80 GB HBM3, 989 TFlop/s (BF16), 3.35 TB/s     |
+| DReX   | 8 NMAs, 8,192 PFUs, 512 GB LPDDR5X, 26.11 TF/s, 1.1 TB/s NMAs, |
+|        | 104.9 TB/s PFU-internal                                        |
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.drex.geometry import DrexGeometry, DREX_DEFAULT
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """An NPU for the roofline model."""
+
+    name: str
+    tflops: float              # dense BF16 peak
+    hbm_bytes: int
+    hbm_bandwidth: float       # bytes/s
+    kernel_overhead_ns: float = 3000.0  # per-layer fixed launch/sync cost
+    reserve_bytes: int = 6 * 1024**3    # runtime/activations headroom
+
+    @property
+    def flops(self) -> float:
+        return self.tflops * 1e12
+
+    @property
+    def usable_bytes(self) -> int:
+        return self.hbm_bytes - self.reserve_bytes
+
+
+H100 = GpuSpec(
+    name="H100-SXM",
+    tflops=989.0,
+    hbm_bytes=80 * 1024**3,
+    hbm_bandwidth=3.35e12,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuSpec:
+    """Host CPU (only its memory matters to the baselines)."""
+
+    name: str = "2x Xeon Max 9462"
+    cores: int = 16
+    dram_bytes: int = 8 * 128 * 1024**3
+    dram_bandwidth: float = 282e9
+    tflops: float = 3.5
+
+
+@dataclasses.dataclass(frozen=True)
+class DrexSpec:
+    """DReX headline numbers (Table 2); geometry carries the details."""
+
+    geometry: DrexGeometry = DREX_DEFAULT
+    nma_tflops_total: float = 26.11
+    nma_bandwidth: float = 1.1e12
+    pfu_bandwidth: float = 104.9e12
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.geometry.capacity_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemSpec:
+    """The full evaluation platform."""
+
+    cpu: CpuSpec = CpuSpec()
+    gpu: GpuSpec = H100
+    drex: DrexSpec = DrexSpec()
+
+
+PAPER_SYSTEM = SystemSpec()

@@ -1,0 +1,57 @@
+"""Parameter sweeps and Pareto frontiers (Figures 4 and 10).
+
+The paper sweeps (window W, top-k, SCF thresholds) per dataset/model and
+plots accuracy against filter ratio (Figure 4) or normalized throughput
+(Figure 10), reporting the Pareto frontier across all configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, Iterable, List, Sequence
+
+
+@dataclasses.dataclass
+class ParetoPoint:
+    """One swept configuration in a 2-D quality/efficiency space."""
+
+    x: float            # efficiency axis (filter ratio / normalized tput)
+    y: float            # quality axis (accuracy relative to dense)
+    label: str = ""
+    config: Dict = dataclasses.field(default_factory=dict)
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset (maximizing both axes), sorted by x.
+
+    A point is dominated if another point is >= in both coordinates and
+    strictly greater in at least one.
+    """
+    frontier: List[ParetoPoint] = []
+    for p in sorted(points, key=lambda q: (-q.x, -q.y)):
+        if not frontier or p.y > frontier[-1].y:
+            frontier.append(p)
+    return sorted(frontier, key=lambda q: q.x)
+
+
+def grid(**axes: Iterable) -> List[Dict]:
+    """Cartesian product of named axes as config dicts.
+
+    >>> grid(window=[256, 1024], k=[128])
+    [{'window': 256, 'k': 128}, {'window': 1024, 'k': 128}]
+    """
+    names = list(axes)
+    combos = itertools.product(*(list(axes[name]) for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def sweep(configs: Sequence[Dict],
+          evaluate: Callable[[Dict], ParetoPoint]) -> List[ParetoPoint]:
+    """Evaluate every config; drop ones the evaluator rejects (None)."""
+    points = []
+    for config in configs:
+        point = evaluate(config)
+        if point is not None:
+            points.append(point)
+    return points

@@ -1,0 +1,26 @@
+"""The `python -m repro.bench` experiment CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "table1" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown experiments" in capsys.readouterr().out
+
+
+def test_runs_fast_experiments(capsys, tmp_path, monkeypatch):
+    import repro.bench.__main__ as cli
+
+    monkeypatch.setattr(cli, "results_dir", lambda: tmp_path)
+    assert main(["table1", "power"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "power and area" in out
+    assert list(tmp_path.glob("*.txt"))

@@ -1,0 +1,112 @@
+"""Fast integration tests for the analytical benchmark runners.
+
+The perf-model figures (7, 8, 9, tables, power) run in milliseconds, so we
+exercise them fully; the algorithm figures (3, 4, 10) need trained models
+and run in the benchmark suite instead — here we only test their plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.fig7 import best_point, headline_speedups, run_fig7
+from repro.bench.fig8 import run_fig8
+from repro.bench.fig9 import run_fig9
+from repro.bench.spec_tables import run_power_area, run_table1, run_table2
+from repro.llm.config import LLAMA3_1B, LLAMA3_8B
+
+
+class TestFig7:
+    def test_grid_covers_systems_and_contexts(self):
+        table = run_fig7(models=[LLAMA3_1B], contexts=[8192, 1_048_576])
+        systems = {row["system"] for row in table.rows}
+        assert systems == {"1-GPU", "2-GPU", "AttAcc", "LongSight"}
+        assert len(table.rows) == 2 * 4
+
+    def test_oom_marked_none(self):
+        table = run_fig7(models=[LLAMA3_8B], contexts=[1_048_576])
+        by_system = {row["system"]: row for row in table.rows}
+        assert by_system["1-GPU"]["throughput_tps"] is None
+        assert by_system["LongSight"]["throughput_tps"] is not None
+
+    def test_longsight_wins_long_context(self):
+        table = run_fig7(models=[LLAMA3_1B], contexts=[524288])
+        by_system = {row["system"]: row for row in table.rows}
+        assert by_system["LongSight"]["throughput_tps"] > \
+            by_system["1-GPU"]["throughput_tps"]
+
+    def test_headlines_both_models(self):
+        for config in (LLAMA3_1B, LLAMA3_8B):
+            h = headline_speedups(config)
+            assert h["throughput_ratio"] > 1.0
+            assert h["per_user_latency_ratio"] > 1.0
+
+
+class TestFig8:
+    def test_rows_and_columns(self):
+        table = run_fig8(models=[LLAMA3_8B], contexts=[32768, 1_048_576])
+        assert len(table.rows) == 4  # 2 contexts x 2 scenarios
+        for row in table.rows:
+            comp_sum = sum(row[c] for c in
+                           ("address_gen", "filter", "bitmap_read", "score",
+                            "rank", "value_read"))
+            assert row["total"] == pytest.approx(comp_sum)
+
+    def test_value_read_dominates_short_context(self):
+        table = run_fig8(models=[LLAMA3_8B], contexts=[8192])
+        single = next(r for r in table.rows if r["scenario"] == "single")
+        assert single["value_read"] > single["score"]
+
+    def test_score_dominates_long_context(self):
+        table = run_fig8(models=[LLAMA3_8B], contexts=[1_048_576])
+        single = next(r for r in table.rows if r["scenario"] == "single")
+        assert single["score"] > single["value_read"]
+
+
+class TestFig9:
+    def test_bottleneck_shift(self):
+        table = run_fig9(models=[LLAMA3_1B], contexts=[8192])
+        by_users = {row["users"]: row for row in table.rows}
+        users = sorted(by_users)
+        assert by_users[users[0]]["bottleneck"] == "GPU"
+        assert by_users[users[-1]]["bottleneck"] in ("DReX", "CXL")
+
+
+class TestSpecTables:
+    def test_table1_fields(self):
+        table = run_table1()
+        fields = {row["field"] for row in table.rows}
+        assert {"attention", "query/KV heads", "head dim", "layers"} <= fields
+
+    def test_table2_headline_bandwidths(self):
+        table = run_table2()
+        values = {(r["device"], r["field"]): r["value"] for r in table.rows}
+        assert values[("DReX", "NMA bandwidth")] == "1.10 TB/s"
+        assert values[("DReX", "PFU bandwidth")] == "104.9 TB/s"
+        assert values[("DReX", "PFUs")] == 8192
+
+    def test_power_area_matches_paper(self):
+        table = run_power_area()
+        total = next(r for r in table.rows
+                     if r["component"] == "DReX total")
+        assert total["value"] == pytest.approx(158.2, abs=0.1)
+
+
+class TestAlgoPlumbing:
+    def test_variant_configs(self):
+        from repro.bench import algo
+
+        sparse = algo.variant_config("sparse", 16)
+        assert sparse.window == 1 and sparse.n_sink == 0
+        hybrid = algo.variant_config("hybrid", 16)
+        assert hybrid.window == algo.WINDOW and not hybrid.use_itq
+        itq = algo.variant_config("hybrid+itq", 16)
+        assert itq.use_itq
+        with pytest.raises(ValueError):
+            algo.variant_config("nope", 16)
+
+    def test_scaled_constants(self):
+        from repro.bench import algo
+
+        assert algo.WINDOW * algo.SCALE == 1024
+        assert algo.TOP_K_LARGE * algo.SCALE == 1024
+        assert algo.TOP_K_SMALL * algo.SCALE == 128

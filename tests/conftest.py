@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Tests use *untrained* miniature models wherever possible: the functional
+properties under test (equivalences, invariants, layouts) do not depend on
+weight quality, and training is reserved for the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.config import ModelConfig
+from repro.llm.model import Transformer
+
+
+#: A deliberately tiny config so full-sequence tests stay fast.
+TINY = ModelConfig(
+    name="tiny-test",
+    vocab_size=64,
+    n_layers=2,
+    n_q_heads=4,
+    n_kv_heads=2,
+    head_dim=8,
+    d_ff=32,
+    qk_bias=True,
+)
+
+#: Same architecture without biases (exercises both code paths).
+TINY_NOBIAS = ModelConfig(
+    name="tiny-test-nobias",
+    vocab_size=64,
+    n_layers=2,
+    n_q_heads=4,
+    n_kv_heads=2,
+    head_dim=8,
+    d_ff=32,
+    qk_bias=False,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_config() -> ModelConfig:
+    return TINY
+
+
+@pytest.fixture
+def tiny_model() -> Transformer:
+    return Transformer(TINY, seed=7)
+
+
+@pytest.fixture
+def tiny_tokens(rng) -> np.ndarray:
+    return rng.integers(0, TINY.vocab_size, size=96)

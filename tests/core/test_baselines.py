@@ -1,0 +1,111 @@
+"""Software sparse-attention baseline backends (Section 3.1 comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import BlockSparseAttention, LshAttention
+from repro.core.metrics import FilterStats
+from repro.llm.model import Transformer
+from tests.conftest import TINY
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Transformer(TINY, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tokens():
+    return np.random.default_rng(4).integers(0, TINY.vocab_size, size=70)
+
+
+class TestLsh:
+    def test_runs_and_is_causal(self, model, tokens):
+        backend = LshAttention(n_hashes=2, n_bits=3, window=4)
+        base = model.forward_full(tokens, backend=backend)
+        mutated = tokens.copy()
+        mutated[-1] = (mutated[-1] + 1) % TINY.vocab_size
+        out = model.forward_full(mutated, backend=backend)
+        np.testing.assert_allclose(base[:-1], out[:-1], atol=1e-12)
+
+    def test_deterministic_across_calls(self, model, tokens):
+        backend = LshAttention(seed=5)
+        a = model.forward_full(tokens, backend=backend)
+        b = model.forward_full(tokens, backend=backend)
+        np.testing.assert_array_equal(a, b)
+
+    def test_more_hashes_higher_recall(self, model, tokens):
+        def pass_rate(n_hashes):
+            stats = FilterStats(TINY.n_layers, TINY.n_kv_heads)
+            backend = LshAttention(n_hashes=n_hashes, n_bits=4, window=4,
+                                   stats=stats)
+            model.forward_full(tokens, backend=backend)
+            return stats.pass_rate
+
+        assert pass_rate(4) > pass_rate(1)
+
+    def test_more_bits_higher_sparsity(self, model, tokens):
+        def pass_rate(n_bits):
+            stats = FilterStats(TINY.n_layers, TINY.n_kv_heads)
+            backend = LshAttention(n_hashes=2, n_bits=n_bits, window=4,
+                                   stats=stats)
+            model.forward_full(tokens, backend=backend)
+            return stats.pass_rate
+
+        assert pass_rate(6) < pass_rate(2)
+
+    def test_identical_vectors_always_collide(self, rng):
+        backend = LshAttention(n_hashes=1, n_bits=4)
+        q = rng.normal(size=(4, 3, 8))
+        k = np.concatenate([q[0:1][:, :, :], rng.normal(size=(1, 3, 8))])
+        # A key equal to the query hashes to the same bucket -> attended.
+        planes = backend._hyperplanes(0, 8)
+        codes_q = backend._bucket_codes(q[0], planes)
+        codes_k = backend._bucket_codes(q[0], planes)
+        np.testing.assert_array_equal(codes_q, codes_k)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LshAttention(n_hashes=0)
+
+
+class TestBlockSparse:
+    def test_runs_and_is_causal(self, model, tokens):
+        backend = BlockSparseAttention(block_size=8, top_blocks=2, window=4)
+        base = model.forward_full(tokens, backend=backend)
+        mutated = tokens.copy()
+        mutated[-1] = (mutated[-1] + 1) % TINY.vocab_size
+        out = model.forward_full(mutated, backend=backend)
+        np.testing.assert_allclose(base[:-1], out[:-1], atol=1e-12)
+
+    def test_selecting_all_blocks_is_dense(self, model, tokens):
+        dense = model.forward_full(tokens)
+        backend = BlockSparseAttention(block_size=8, top_blocks=100,
+                                       window=1, n_sink=0)
+        out = model.forward_full(tokens, backend=backend)
+        np.testing.assert_allclose(dense, out, atol=1e-12)
+
+    def test_block_granularity_caps_sparsity(self, model, tokens):
+        """Coarse blocks force whole-block retrieval: the number of
+        attended sparse tokens is a multiple-ish of the block size (the
+        Section 3.1 granularity critique)."""
+        stats = FilterStats(TINY.n_layers, TINY.n_kv_heads)
+        backend = BlockSparseAttention(block_size=16, top_blocks=1, window=2,
+                                       stats=stats)
+        model.forward_full(tokens, backend=backend)
+        assert stats.passed.sum() > 0
+        # With one 16-token block selected per query, per-query retrieval
+        # granularity is ~16 tokens even though k=1 block was requested.
+        per_query = stats.passed.sum() / stats.queries.sum()
+        assert per_query > 4
+
+    def test_stats_invariants(self, model, tokens):
+        stats = FilterStats(TINY.n_layers, TINY.n_kv_heads)
+        backend = BlockSparseAttention(block_size=8, top_blocks=2, window=4,
+                                       stats=stats)
+        model.forward_full(tokens, backend=backend)
+        assert (stats.passed <= stats.candidates).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockSparseAttention(block_size=0)

@@ -1,0 +1,72 @@
+"""Per-Q-head threshold granularity (the paper's rejected design, §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LongSightConfig
+from repro.core.hybrid import LongSightAttention
+from repro.core.metrics import FilterStats
+from repro.core.tuning import tune_thresholds
+from repro.llm.model import Transformer
+from repro.llm.perplexity import perplexity
+from tests.conftest import TINY
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = Transformer(TINY, seed=3)
+    tokens = np.random.default_rng(8).integers(0, TINY.vocab_size, size=96)
+    return model, tokens
+
+
+def test_threshold_for_q_head_resolution():
+    t = np.arange(8, dtype=float).reshape(2, 4)  # (layers, q_heads)
+    config = LongSightConfig(thresholds=t, per_q_head_thresholds=True)
+    assert config.threshold_for(1, kv_head=0, q_head=3) == 7.0
+    with pytest.raises(ValueError):
+        config.threshold_for(0, kv_head=0)  # q_head required
+
+
+def test_uniform_thresholds_match_across_granularity(setup):
+    """A constant threshold must behave identically at either granularity."""
+    model, tokens = setup
+    kv = LongSightConfig(window=8, n_sink=2, top_k=16, thresholds=4)
+    qh = LongSightConfig(window=8, n_sink=2, top_k=16,
+                         thresholds=np.full((TINY.n_layers, TINY.n_q_heads),
+                                            4.0),
+                         per_q_head_thresholds=True)
+    a = model.forward_full(tokens, backend=LongSightAttention(kv))
+    b = model.forward_full(tokens, backend=LongSightAttention(qh))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_per_q_head_thresholds_act_independently(setup):
+    model, tokens = setup
+    thresholds = np.zeros((TINY.n_layers, TINY.n_q_heads))
+    thresholds[0, 1] = TINY.head_dim  # choke query head 1 only
+    config = LongSightConfig(window=8, n_sink=2, top_k=64,
+                             thresholds=thresholds,
+                             per_q_head_thresholds=True)
+    stats = FilterStats(TINY.n_layers, TINY.n_q_heads)
+    model.forward_full(tokens, backend=LongSightAttention(config,
+                                                          stats=stats))
+    rates = stats.passed / np.maximum(stats.candidates, 1)
+    assert rates[0, 1] < 0.2
+    assert rates[0, 0] == 1.0  # sibling sharing the same KV head unaffected
+
+
+def test_tuning_at_q_head_granularity(setup):
+    model, tokens = setup
+    dense = perplexity(model, tokens)
+    config = LongSightConfig(window=8, n_sink=2, top_k=8)
+    result = tune_thresholds(model, tokens, config, dense,
+                             max_increase=0.10, step=2, max_iterations=4,
+                             granularity="q_head")
+    assert result.thresholds.shape == (TINY.n_layers, TINY.n_q_heads)
+
+
+def test_bad_granularity_rejected(setup):
+    model, tokens = setup
+    with pytest.raises(ValueError):
+        tune_thresholds(model, tokens, LongSightConfig(), 1.0,
+                        granularity="nope")

@@ -1,0 +1,87 @@
+"""The reference sparse retrieval pipeline (filter -> score -> rank)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.itq import random_rotation
+from repro.core.scf import scf_filter
+from repro.core.sparse import sparse_retrieve
+from repro.core.topk import top_k_indices
+
+
+def test_matches_brute_force(rng):
+    q = rng.normal(size=16)
+    keys = rng.normal(size=(50, 16))
+    result = sparse_retrieve(q, keys, threshold=8, k=7)
+    passed = scf_filter(q[None], keys, 8)[0]
+    masked = np.where(passed, keys @ q, -np.inf)
+    np.testing.assert_array_equal(result.indices, top_k_indices(masked, 7))
+    np.testing.assert_allclose(result.scores, (keys @ q)[result.indices])
+    assert result.n_candidates == 50
+    assert result.n_passed == int(passed.sum())
+
+
+def test_threshold_zero_is_pure_topk(rng):
+    q = rng.normal(size=8)
+    keys = rng.normal(size=(20, 8))
+    result = sparse_retrieve(q, keys, threshold=0, k=5)
+    np.testing.assert_array_equal(result.indices,
+                                  np.argsort(-(keys @ q), kind="stable")[:5])
+    assert result.n_passed == 20
+
+
+def test_empty_keys(rng):
+    result = sparse_retrieve(rng.normal(size=8), np.empty((0, 8)), 0, 5)
+    assert result.n_retrieved == 0
+    assert result.n_candidates == 0
+
+
+def test_max_threshold_filters_all(rng):
+    q = rng.normal(size=8)
+    keys = -np.abs(rng.normal(size=(10, 8))) * np.sign(q)  # all signs flipped
+    result = sparse_retrieve(q, keys, threshold=1, k=5)
+    assert result.n_passed == 0
+    assert result.n_retrieved == 0
+
+
+def test_rotation_changes_filter_not_scores(rng):
+    q = rng.normal(size=16) + 1.0
+    keys = rng.normal(size=(40, 16)) + 1.0
+    rot = random_rotation(16, seed=3)
+    plain = sparse_retrieve(q, keys, threshold=9, k=40)
+    rotated = sparse_retrieve(q, keys, threshold=9, k=40, rotation=rot)
+    # Scores of commonly retrieved keys are identical (orthogonal rotation
+    # never touches the scoring path).
+    common = set(plain.indices) & set(rotated.indices)
+    assert common
+    for idx in common:
+        assert np.isclose(keys[idx] @ q,
+                          plain.scores[list(plain.indices).index(idx)])
+
+
+def test_scores_descending(rng):
+    result = sparse_retrieve(rng.normal(size=8), rng.normal(size=(30, 8)),
+                             threshold=2, k=10)
+    assert (np.diff(result.scores) <= 1e-12).all()
+
+
+def test_shape_validation(rng):
+    with pytest.raises(ValueError):
+        sparse_retrieve(rng.normal(size=(2, 8)), rng.normal(size=(5, 8)), 0, 1)
+    with pytest.raises(ValueError):
+        sparse_retrieve(rng.normal(size=8), rng.normal(size=(5, 6)), 0, 1)
+
+
+@given(st.integers(min_value=0, max_value=16),
+       st.integers(min_value=0, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_invariants(threshold, k):
+    rng = np.random.default_rng(42)
+    q = rng.normal(size=16)
+    keys = rng.normal(size=(25, 16))
+    result = sparse_retrieve(q, keys, threshold=threshold, k=k)
+    assert result.n_retrieved == min(k, result.n_passed)
+    assert result.n_passed <= result.n_candidates
+    assert len(set(result.indices.tolist())) == result.n_retrieved

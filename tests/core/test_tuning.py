@@ -1,0 +1,88 @@
+"""Hyper-parameter tuning loop tests (small model, short streams)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LongSightConfig
+from repro.core.tuning import (
+    evaluate,
+    meets_quality_target,
+    tune_thresholds,
+    tune_top_k,
+)
+from repro.llm.model import Transformer
+from repro.llm.perplexity import perplexity
+from tests.conftest import TINY
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = Transformer(TINY, seed=3)
+    rng = np.random.default_rng(8)
+    tokens = rng.integers(0, TINY.vocab_size, size=96)
+    dense = perplexity(model, tokens)
+    return model, tokens, dense
+
+
+def test_evaluate_returns_ppl_and_stats(setup):
+    model, tokens, _ = setup
+    config = LongSightConfig(window=8, n_sink=2, top_k=8, thresholds=4)
+    ppl, stats = evaluate(model, tokens, config)
+    assert ppl > 1.0
+    assert stats.candidates.sum() > 0
+
+
+def test_tune_top_k_returns_candidate(setup):
+    model, tokens, dense = setup
+    config = LongSightConfig(window=8, n_sink=2, top_k=64)
+    k = tune_top_k(model, tokens, config, dense, max_increase=0.5,
+                   candidates=[64, 32, 16])
+    assert k in (64, 32, 16)
+    # A generous budget should allow a small k.
+    k_loose = tune_top_k(model, tokens, config, dense, max_increase=10.0,
+                         candidates=[64, 16])
+    assert k_loose == 16
+
+
+def test_tune_top_k_falls_back_to_largest(setup):
+    model, tokens, dense = setup
+    config = LongSightConfig(window=2, n_sink=0, top_k=4)
+    k = tune_top_k(model, tokens, config, dense, max_increase=-1.0,
+                   candidates=[8, 4])
+    assert k == 8  # impossible budget -> largest candidate
+
+
+def test_tune_thresholds_respects_budget(setup):
+    model, tokens, dense = setup
+    config = LongSightConfig(window=8, n_sink=2, top_k=8)
+    result = tune_thresholds(model, tokens, config, dense,
+                             max_increase=0.10, step=2, max_iterations=6)
+    assert result.thresholds.shape == (TINY.n_layers, TINY.n_kv_heads)
+    assert meets_quality_target(result.perplexity, dense, 0.10)
+    assert result.filter_ratio >= 1.0  # k << N, so filtering always saves
+    assert 1 <= result.iterations <= 6
+    assert len(result.history) == result.iterations
+
+
+def test_tune_thresholds_progress_monotone(setup):
+    """Each accepted step raises exactly one threshold by `step`."""
+    model, tokens, dense = setup
+    config = LongSightConfig(window=8, n_sink=2, top_k=96)
+    result = tune_thresholds(model, tokens, config, dense,
+                             max_increase=10.0, step=4, max_iterations=5)
+    total = result.thresholds.sum()
+    assert total == 4 * (result.iterations - 1) or total <= 4 * result.iterations
+
+
+def test_tune_thresholds_zero_iterations_budget(setup):
+    """Even an unfiltered config over budget returns a (flagged) result."""
+    model, tokens, dense = setup
+    config = LongSightConfig(window=2, n_sink=0, top_k=1)
+    result = tune_thresholds(model, tokens, config, dense,
+                             max_increase=-0.5, step=2, max_iterations=3)
+    assert (result.thresholds == 0).all()
+
+
+def test_meets_quality_target():
+    assert meets_quality_target(10.4, 10.0, 0.05)
+    assert not meets_quality_target(10.6, 10.0, 0.05)

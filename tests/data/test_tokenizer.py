@@ -1,0 +1,34 @@
+"""Byte-level tokenizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.tokenizer import CharTokenizer
+
+
+def test_encode_bounds():
+    tok = CharTokenizer(vocab_size=512)
+    ids = tok.encode("hello, world! é")
+    assert ids.min() >= 2
+    assert ids.max() < 512
+
+
+def test_ascii_round_trip():
+    tok = CharTokenizer(vocab_size=512)
+    text = "The quick brown fox."
+    assert tok.decode(tok.encode(text)) == text
+
+
+def test_reserved_ids_decode_to_space():
+    tok = CharTokenizer()
+    assert tok.decode(np.array([0, 1])) == "  "
+
+
+def test_too_small_vocab():
+    with pytest.raises(ValueError):
+        CharTokenizer(vocab_size=4)
+
+
+def test_deterministic():
+    tok = CharTokenizer()
+    np.testing.assert_array_equal(tok.encode("abc"), tok.encode("abc"))

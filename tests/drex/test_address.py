@@ -1,0 +1,89 @@
+"""Physical address mapping: bijection and ordering properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drex.address import (
+    AddressMap,
+    PhysicalLocation,
+    decode_key_id_address,
+    key_id_address,
+)
+from repro.drex.geometry import DREX_DEFAULT
+
+AM = AddressMap()
+
+
+@given(st.integers(min_value=0, max_value=DREX_DEFAULT.capacity_bytes - 1))
+@settings(max_examples=200, deadline=None)
+def test_decode_encode_round_trip(address):
+    loc, offset = AM.decode(address)
+    assert AM.encode(loc, offset) == address
+
+
+def test_ordering_col_first():
+    """Contiguous addresses walk columns first, then rows, banks, channels,
+    packages (Section 7.3.2)."""
+    g = DREX_DEFAULT
+    loc0, _ = AM.decode(0)
+    assert loc0 == PhysicalLocation(0, 0, 0, 0, 0)
+    loc_col, _ = AM.decode(g.col_bytes)
+    assert loc_col == PhysicalLocation(0, 0, 0, 0, 1)
+    loc_row, _ = AM.decode(g.row_bytes)
+    assert loc_row == PhysicalLocation(0, 0, 0, 1, 0)
+    loc_bank, _ = AM.decode(g.row_bytes * g.rows_per_bank)
+    assert loc_bank == PhysicalLocation(0, 0, 1, 0, 0)
+    loc_pkg, _ = AM.decode(g.package_bytes)
+    assert loc_pkg == PhysicalLocation(1, 0, 0, 0, 0)
+
+
+def test_last_address():
+    g = DREX_DEFAULT
+    loc, offset = AM.decode(g.capacity_bytes - 1)
+    assert loc.package == g.n_packages - 1
+    assert loc.col == g.cols_per_row - 1
+    assert offset == g.col_bytes - 1
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        AM.decode(-1)
+    with pytest.raises(ValueError):
+        AM.decode(DREX_DEFAULT.capacity_bytes)
+    with pytest.raises(ValueError):
+        AM.encode(PhysicalLocation(99, 0, 0, 0, 0))
+
+
+def test_row_address():
+    g = DREX_DEFAULT
+    addr = AM.row_address(1, 2, 3, 4)
+    loc, offset = AM.decode(addr)
+    assert (loc.package, loc.channel, loc.bank, loc.row) == (1, 2, 3, 4)
+    assert loc.col == 0 and offset == 0
+
+
+class TestKeyIdAddress:
+    @given(st.integers(min_value=0, max_value=127),
+           st.integers(min_value=0, max_value=127),
+           st.integers(min_value=0, max_value=(1 << 18) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, bank, index, epoch):
+        packed = key_id_address(bank, index, epoch)
+        assert packed < (1 << 32)
+        assert decode_key_id_address(packed) == (bank, index, epoch)
+
+    def test_field_limits(self):
+        with pytest.raises(ValueError):
+            key_id_address(128, 0, 0)
+        with pytest.raises(ValueError):
+            key_id_address(0, 128, 0)
+        with pytest.raises(ValueError):
+            key_id_address(0, 0, 1 << 18)
+
+    def test_bit_layout(self):
+        """7 LSBs bank, next 7 bitmap index, 18 MSBs epoch (Section 7.4)."""
+        assert key_id_address(0b1010101, 0, 0) == 0b1010101
+        assert key_id_address(0, 0b0000011, 0) == 0b0000011 << 7
+        assert key_id_address(0, 0, 1) == 1 << 14

@@ -1,0 +1,130 @@
+"""Allocator invariants: no double-booking, capacity limits, chaining."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drex.allocator import CapacityError, DrexAllocator
+from repro.drex.geometry import DrexGeometry
+from repro.drex.layout import rows_per_group
+
+#: Small geometry so capacity errors are reachable in tests.
+SMALL = DrexGeometry(n_packages=2, channels_per_package=2,
+                     banks_per_channel=4, capacity_bytes=2 * 4 * 2 * 4 * 2048)
+# rows_per_bank = capacity / (16 banks * 2048) = 4 rows/bank.
+
+
+def test_small_geometry_sanity():
+    assert SMALL.rows_per_bank == 4
+    assert SMALL.keys_per_key_block_group == 256
+
+
+class TestAppend:
+    def test_single_group_allocation(self):
+        alloc = DrexAllocator()
+        chain = alloc.append_keys(uid=0, layer=0, kv_head=0, n_keys=100,
+                                  head_dim=64)
+        assert len(chain) == 1
+        assert chain[0].n_keys == 100
+        assert len(chain[0].groups) == 1
+        assert alloc.bytes_used == rows_per_group(64) * 2048 * 8
+
+    def test_grows_in_place_before_new_group(self):
+        alloc = DrexAllocator()
+        alloc.append_keys(0, 0, 0, 100, 64)
+        chain = alloc.append_keys(0, 0, 0, 200, 64)
+        assert len(chain[0].groups) == 1  # still inside the first group
+        assert chain[0].n_keys == 300
+
+    def test_new_group_at_next_bank_index(self):
+        alloc = DrexAllocator()
+        chain = alloc.append_keys(0, 0, 0, 1024 + 10, 64)
+        banks = [g.bank_index for g in chain[0].groups]
+        assert banks == [0, 1]
+
+    def test_chains_to_next_package_when_slice_full(self):
+        g = DrexGeometry(n_packages=2, channels_per_package=2,
+                         banks_per_channel=2,
+                         capacity_bytes=2 * 2 * 2 * 4096 * 2048)
+        alloc = DrexAllocator(g)
+        slice_cap = g.keys_per_key_block_group * g.banks_per_channel  # 512
+        chain = alloc.append_keys(0, 0, 0, slice_cap + 1, head_dim=64)
+        assert len(chain) == 2
+        assert chain[0].n_keys == slice_cap
+        assert chain[1].n_keys == 1
+        assert chain[1].package == (chain[0].package + 1) % 2
+
+    def test_heads_spread_across_packages(self):
+        alloc = DrexAllocator()
+        a = alloc.append_keys(0, 0, 0, 10, 64)[0]
+        b = alloc.append_keys(0, 0, 1, 10, 64)[0]
+        assert a.package != b.package
+
+    def test_head_dim_mismatch_rejected(self):
+        alloc = DrexAllocator()
+        alloc.append_keys(0, 0, 0, 10, 64)
+        with pytest.raises(ValueError):
+            alloc.append_keys(0, 0, 0, 10, 128)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DrexAllocator().append_keys(0, 0, 0, -1, 64)
+
+
+class TestNoDoubleBooking:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 1),
+                              st.integers(0, 1),
+                              st.integers(1, 2000)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_rows_disjoint(self, requests):
+        alloc = DrexAllocator()
+        for uid, layer, head, n in requests:
+            alloc.append_keys(uid, layer, head, n, head_dim=64)
+        # Collect (package, bank, row) spans from every group; must be
+        # pairwise disjoint.
+        seen = set()
+        for partition in alloc.partitions.values():
+            for chain in partition.slices.values():
+                for s in chain:
+                    for group in s.groups:
+                        for row in range(group.row_start,
+                                         group.row_start + group.rows_per_bank):
+                            key = (s.package, group.bank_index, row)
+                            assert key not in seen
+                            seen.add(key)
+
+
+class TestCapacity:
+    def test_capacity_error(self):
+        alloc = DrexAllocator(SMALL)
+        # Each group of head_dim=64 needs 17 rows/bank but banks have 4.
+        with pytest.raises(CapacityError):
+            alloc.append_keys(0, 0, 0, 1, head_dim=64)
+
+    def test_free_user_reclaims(self):
+        alloc = DrexAllocator()
+        alloc.append_keys(0, 0, 0, 5000, 64)
+        used = alloc.bytes_used
+        assert used > 0
+        freed = alloc.free_user(0)
+        assert freed == used
+        assert alloc.bytes_used == 0
+        assert alloc.free_user(0) == 0  # idempotent
+
+    def test_free_keeps_other_users(self):
+        alloc = DrexAllocator()
+        alloc.append_keys(0, 0, 0, 2000, 64)
+        alloc.append_keys(1, 0, 0, 2000, 64)
+        used_two = alloc.bytes_used
+        alloc.free_user(0)
+        assert 0 < alloc.bytes_used < used_two
+        # User 1's data still allocatable / extendable.
+        alloc.append_keys(1, 0, 0, 100, 64)
+
+    def test_utilization(self):
+        alloc = DrexAllocator()
+        assert alloc.utilization() == 0.0
+        alloc.append_keys(0, 0, 0, 1024, 64)
+        assert 0.0 < alloc.utilization() < 1.0

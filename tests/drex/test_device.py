@@ -1,0 +1,147 @@
+"""The assembled DReX device: functional equivalence + bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.itq import ItqRotations, random_rotation
+from repro.core.sparse import sparse_retrieve
+from repro.drex.descriptors import RequestDescriptor
+from repro.drex.device import DrexDevice
+from tests.conftest import TINY
+
+
+@pytest.fixture
+def device():
+    dev = DrexDevice(TINY.n_layers, TINY.n_kv_heads, TINY.n_q_heads,
+                     TINY.head_dim, thresholds=TINY.head_dim // 2)
+    dev.register_user(0)
+    return dev
+
+
+def _populate(device, rng, n=300, layer=0):
+    keys = rng.normal(size=(TINY.n_kv_heads, n, TINY.head_dim))
+    values = rng.normal(size=(TINY.n_kv_heads, n, TINY.head_dim))
+    for head in range(TINY.n_kv_heads):
+        device.write_kv(0, layer, head, keys[head], values[head])
+    return keys, values
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("threshold", [0, 6, 8, 12, 16])
+    def test_matches_reference_pipeline(self, rng, threshold):
+        device = DrexDevice(TINY.n_layers, TINY.n_kv_heads, TINY.n_q_heads,
+                            TINY.head_dim, thresholds=threshold)
+        device.register_user(0)
+        keys, values = _populate(device, rng)
+        queries = rng.normal(size=(TINY.n_q_heads, TINY.head_dim))
+        response = device.execute(RequestDescriptor(uid=0, layer=0,
+                                                    queries=queries, top_k=17))
+        group = TINY.gqa_group_size
+        for h in range(TINY.n_q_heads):
+            kv_head = h // group
+            ref = sparse_retrieve(queries[h], keys[kv_head],
+                                  threshold=threshold, k=17)
+            np.testing.assert_array_equal(response.heads[h].indices,
+                                          ref.indices)
+            np.testing.assert_allclose(response.heads[h].scores, ref.scores)
+            np.testing.assert_allclose(response.heads[h].values,
+                                       values[kv_head][ref.indices])
+
+    def test_matches_reference_with_itq(self, rng):
+        rotations = ItqRotations(TINY.n_layers, TINY.n_kv_heads, TINY.head_dim)
+        for layer in range(TINY.n_layers):
+            for head in range(TINY.n_kv_heads):
+                rotations.set(layer, head,
+                              random_rotation(TINY.head_dim,
+                                              seed=layer * 7 + head))
+        device = DrexDevice(TINY.n_layers, TINY.n_kv_heads, TINY.n_q_heads,
+                            TINY.head_dim, thresholds=9, rotations=rotations)
+        device.register_user(0)
+        keys, _ = _populate(device, rng, layer=1)
+        queries = rng.normal(size=(TINY.n_q_heads, TINY.head_dim))
+        response = device.execute(RequestDescriptor(uid=0, layer=1,
+                                                    queries=queries, top_k=9))
+        for h in range(TINY.n_q_heads):
+            kv_head = h // TINY.gqa_group_size
+            ref = sparse_retrieve(queries[h], keys[kv_head], threshold=9, k=9,
+                                  rotation=rotations.get(1, kv_head))
+            np.testing.assert_array_equal(response.heads[h].indices,
+                                          ref.indices)
+
+    def test_incremental_writes_match_bulk(self, rng):
+        """Appending in odd-sized chunks must not change results."""
+        bulk = DrexDevice(TINY.n_layers, TINY.n_kv_heads, TINY.n_q_heads,
+                          TINY.head_dim, thresholds=6)
+        inc = DrexDevice(TINY.n_layers, TINY.n_kv_heads, TINY.n_q_heads,
+                         TINY.head_dim, thresholds=6)
+        bulk.register_user(0)
+        inc.register_user(0)
+        keys = rng.normal(size=(TINY.n_kv_heads, 200, TINY.head_dim))
+        values = rng.normal(size=(TINY.n_kv_heads, 200, TINY.head_dim))
+        for head in range(TINY.n_kv_heads):
+            bulk.write_kv(0, 0, head, keys[head], values[head])
+            for start in range(0, 200, 37):
+                inc.write_kv(0, 0, head, keys[head, start : start + 37],
+                             values[head, start : start + 37])
+        queries = rng.normal(size=(TINY.n_q_heads, TINY.head_dim))
+        request = RequestDescriptor(uid=0, layer=0, queries=queries, top_k=11)
+        a = bulk.execute(request)
+        b = inc.execute(RequestDescriptor(uid=0, layer=0, queries=queries,
+                                          top_k=11))
+        for h in range(TINY.n_q_heads):
+            np.testing.assert_array_equal(a.heads[h].indices,
+                                          b.heads[h].indices)
+
+
+class TestBookkeeping:
+    def test_empty_store_returns_empty_heads(self, device, rng):
+        queries = rng.normal(size=(TINY.n_q_heads, TINY.head_dim))
+        response = device.execute(RequestDescriptor(uid=0, layer=2,
+                                                    queries=queries))
+        assert all(h.indices.size == 0 for h in response.heads)
+
+    def test_context_length_tracking(self, device, rng):
+        assert device.context_length(0, 0, 0) == 0
+        _populate(device, rng, n=150)
+        assert device.context_length(0, 0, 0) == 150
+
+    def test_latency_attached(self, device, rng):
+        _populate(device, rng)
+        queries = rng.normal(size=(TINY.n_q_heads, TINY.head_dim))
+        response = device.execute(RequestDescriptor(uid=0, layer=0,
+                                                    queries=queries, top_k=5))
+        assert response.latency is not None
+        assert response.latency.total_ns > 0
+        assert response.latency.score_ns >= 0
+
+    def test_evict_user_frees_everything(self, device, rng):
+        _populate(device, rng)
+        assert device.allocator.bytes_used > 0
+        device.evict_user(0)
+        assert device.allocator.bytes_used == 0
+        assert device.context_length(0, 0, 0) == 0
+
+    def test_write_validation(self, device, rng):
+        with pytest.raises(ValueError):
+            device.write_kv(0, 0, 0, rng.normal(size=(5, TINY.head_dim)),
+                            rng.normal(size=(4, TINY.head_dim)))
+        with pytest.raises(ValueError):
+            device.write_kv(0, 0, 0, rng.normal(size=(5, 3)),
+                            rng.normal(size=(5, 3)))
+
+    def test_query_shape_validation(self, device, rng):
+        _populate(device, rng, n=50)
+        with pytest.raises(ValueError):
+            device.execute(RequestDescriptor(
+                uid=0, layer=0,
+                queries=rng.normal(size=(TINY.n_q_heads + 1, TINY.head_dim))))
+
+    def test_group_limit(self, device, rng):
+        _populate(device, rng, n=50)
+        # 8 tokens x group 2 = 16 queries: at the PFU limit -> fine.
+        ok = rng.normal(size=(TINY.n_q_heads, 8, TINY.head_dim))
+        device.execute(RequestDescriptor(uid=0, layer=0, queries=ok))
+        too_many = rng.normal(size=(TINY.n_q_heads, 9, TINY.head_dim))
+        with pytest.raises(ValueError):
+            device.execute(RequestDescriptor(uid=0, layer=0,
+                                             queries=too_many))

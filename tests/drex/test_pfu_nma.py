@@ -1,0 +1,107 @@
+"""PFU and NMA functional + timing models."""
+
+import numpy as np
+import pytest
+
+from repro.core.scf import pack_signs, scf_filter
+from repro.core.topk import top_k_indices
+from repro.drex.nma import NearMemoryAccelerator
+from repro.drex.pfu import PimFilterUnit
+
+
+class TestPfu:
+    def test_matches_reference_filter(self, rng):
+        pfu = PimFilterUnit()
+        keys = rng.normal(size=(128, 64))
+        queries = rng.normal(size=(4, 64))
+        bitmap = pfu.filter_block(pack_signs(keys), pack_signs(queries),
+                                  head_dim=64, threshold=33)
+        np.testing.assert_array_equal(bitmap, scf_filter(queries, keys, 33))
+
+    def test_partial_block(self, rng):
+        pfu = PimFilterUnit()
+        keys = rng.normal(size=(37, 16))
+        queries = rng.normal(size=(1, 16))
+        bitmap = pfu.filter_block(pack_signs(keys), pack_signs(queries), 16, 8)
+        assert bitmap.shape == (1, 37)
+
+    def test_limits_enforced(self, rng):
+        pfu = PimFilterUnit()
+        keys = pack_signs(rng.normal(size=(129, 16)))
+        queries = pack_signs(rng.normal(size=(1, 16)))
+        with pytest.raises(ValueError):
+            pfu.filter_block(keys, queries, 16, 0)
+        keys = pack_signs(rng.normal(size=(10, 16)))
+        queries = pack_signs(rng.normal(size=(17, 16)))
+        with pytest.raises(ValueError):
+            pfu.filter_block(keys, queries, 16, 0)
+
+    def test_bitmap_latency_is_paper_constant(self):
+        pfu = PimFilterUnit()
+        assert pfu.bitmap_latency_ns(128) == pytest.approx(160.0)  # d x 1.25
+        assert pfu.bitmap_latency_ns(64) == pytest.approx(80.0)
+
+
+class TestNmaFunctional:
+    def test_matches_per_query_topk(self, rng):
+        nma = NearMemoryAccelerator()
+        queries = rng.normal(size=(4, 32))
+        keys = rng.normal(size=(60, 32))
+        result = nma.score_and_rank(queries, keys, k=9)
+        for g in range(4):
+            expected = top_k_indices(keys @ queries[g], 9)
+            np.testing.assert_array_equal(result.indices[g], expected)
+            np.testing.assert_allclose(result.scores[g],
+                                       (keys @ queries[g])[expected])
+
+    def test_valid_mask_restricts_ranking(self, rng):
+        nma = NearMemoryAccelerator()
+        queries = rng.normal(size=(2, 16))
+        keys = rng.normal(size=(30, 16))
+        mask = rng.random(size=(2, 30)) < 0.5
+        result = nma.score_and_rank(queries, keys, k=30, valid_mask=mask)
+        for g in range(2):
+            assert set(result.indices[g]) == set(np.flatnonzero(mask[g]))
+
+    def test_empty_survivors(self, rng):
+        nma = NearMemoryAccelerator()
+        result = nma.score_and_rank(rng.normal(size=(3, 8)),
+                                    np.empty((0, 8)), k=5)
+        assert all(len(idx) == 0 for idx in result.indices)
+
+    def test_hardware_top_k_cap(self, rng):
+        nma = NearMemoryAccelerator()
+        queries = rng.normal(size=(1, 8))
+        keys = rng.normal(size=(2000, 8))
+        result = nma.score_and_rank(queries, keys, k=5000)
+        assert len(result.indices[0]) == 1024  # hardware cap
+
+
+class TestNmaTiming:
+    def test_scoring_memory_bound_regime(self):
+        nma = NearMemoryAccelerator()
+        # Many survivors, one query: streaming dominates.
+        t = nma.scoring_latency_ns(n_survivors=100_000, head_dim=128,
+                                   n_queries=1)
+        bw = nma.timings.package_bandwidth(nma.geometry)
+        expected = 100_000 * 128 * 2 / bw * 1e9
+        assert t == pytest.approx(expected)
+
+    def test_scoring_monotone(self):
+        nma = NearMemoryAccelerator()
+        a = nma.scoring_latency_ns(1000, 64, 4)
+        b = nma.scoring_latency_ns(2000, 64, 4)
+        assert b > a
+
+    def test_bitmap_read_pipelines(self):
+        nma = NearMemoryAccelerator()
+        one = nma.bitmap_read_latency_ns(n_blocks=8)   # one per channel
+        many = nma.bitmap_read_latency_ns(n_blocks=1024)
+        assert one == pytest.approx(120.4)
+        # 128 per channel: 120.4 + 127 x 4 ns, NOT 128 x 120.4.
+        assert many == pytest.approx(120.4 + 127 * 4.0)
+
+    def test_ranking_drain(self):
+        nma = NearMemoryAccelerator()
+        assert nma.ranking_latency_ns(1024) == pytest.approx(1024 / 1.6)
+        assert nma.ranking_latency_ns(5000) == pytest.approx(1024 / 1.6)

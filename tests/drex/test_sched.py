@@ -1,0 +1,112 @@
+"""Discrete-event DReX scheduler tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drex.geometry import DrexGeometry
+from repro.drex.sched import DrexScheduler, OffloadJob, decode_step_jobs
+
+GEO = DrexGeometry()
+
+
+def test_single_job_latency_is_unit_plus_transfer():
+    sched = DrexScheduler()
+    job = OffloadJob(job_id=0, arrival_ns=0.0,
+                     units=[(p, 100.0) for p in range(8)],
+                     value_transfer_ns=50.0)
+    outcome = sched.simulate([job])
+    assert outcome.results[0].latency_ns == pytest.approx(150.0)
+    assert outcome.makespan_ns == pytest.approx(150.0)
+
+
+def test_two_jobs_same_packages_queue():
+    sched = DrexScheduler()
+    jobs = [OffloadJob(i, 0.0, [(0, 100.0)], 0.0) for i in range(3)]
+    outcome = sched.simulate(jobs)
+    finishes = sorted(r.compute_done_ns for r in outcome.results)
+    assert finishes == [100.0, 200.0, 300.0]
+
+
+def test_jobs_on_distinct_packages_parallel():
+    sched = DrexScheduler()
+    jobs = [OffloadJob(i, 0.0, [(i, 100.0)], 0.0) for i in range(8)]
+    outcome = sched.simulate(jobs)
+    assert outcome.makespan_ns == pytest.approx(100.0)
+    assert outcome.nma_utilization() == pytest.approx(1.0)
+
+
+def test_cxl_serializes_responses():
+    sched = DrexScheduler()
+    jobs = [OffloadJob(i, 0.0, [(i, 100.0)], 40.0) for i in range(4)]
+    outcome = sched.simulate(jobs)
+    # All compute finishes at 100; transfers serialize: 140, 180, 220, 260.
+    assert outcome.makespan_ns == pytest.approx(100.0 + 4 * 40.0)
+    assert outcome.cxl_busy_ns == pytest.approx(160.0)
+
+
+def test_value_read_overlaps_compute_of_queued_jobs():
+    """Section 9.2: with queued work, transfers hide behind compute."""
+    sched = DrexScheduler()
+    jobs = [OffloadJob(i, 0.0, [(0, 100.0)], 50.0) for i in range(4)]
+    outcome = sched.simulate(jobs)
+    # Compute done at 100, 200, 300, 400; each transfer (50) fits in the
+    # next job's compute window -> makespan 450, not 100 + 4x(100+50).
+    assert outcome.makespan_ns == pytest.approx(450.0)
+
+
+def test_arrival_times_respected():
+    sched = DrexScheduler()
+    jobs = [OffloadJob(0, 1000.0, [(0, 10.0)], 0.0)]
+    outcome = sched.simulate(jobs)
+    assert outcome.results[0].compute_done_ns == pytest.approx(1010.0)
+    assert outcome.results[0].latency_ns == pytest.approx(10.0)
+
+
+def test_job_without_units_completes_immediately():
+    sched = DrexScheduler()
+    outcome = sched.simulate([OffloadJob(0, 5.0, [], 7.0)])
+    assert outcome.results[0].finish_ns == pytest.approx(12.0)
+
+
+def test_decode_step_jobs_layout():
+    jobs = decode_step_jobs(n_users=3, unit_compute_ns=10.0,
+                            n_units_per_user=8, value_transfer_ns=1.0)
+    assert len(jobs) == 3
+    assert all(len(j.units) == 8 for j in jobs)
+    # User u's units occupy all 8 packages exactly once.
+    packages = {p for p, _ in jobs[1].units}
+    assert packages == set(range(8))
+
+
+def test_slo_attainment_and_percentiles():
+    sched = DrexScheduler()
+    jobs = [OffloadJob(i, 0.0, [(0, 100.0)], 0.0) for i in range(10)]
+    outcome = sched.simulate(jobs)
+    assert outcome.slo_attainment(100.0) == pytest.approx(0.1)
+    assert outcome.slo_attainment(1000.0) == pytest.approx(1.0)
+    assert outcome.p99_latency_ns == outcome.p99_latency_ns  # callable ok
+    assert outcome.mean_latency_ns() == pytest.approx(550.0)
+
+
+@given(n_users=st.integers(min_value=1, max_value=40),
+       units=st.integers(min_value=1, max_value=16),
+       compute=st.floats(min_value=1.0, max_value=1e4),
+       transfer=st.floats(min_value=0.0, max_value=1e4))
+@settings(max_examples=30, deadline=None)
+def test_matches_analytical_bounds(n_users, units, compute, transfer):
+    """The simulated makespan must sit between the work-conservation lower
+    bound and the fully-serialized upper bound — and the analytical
+    engine's approximation max(nma, cxl) must be within the same band."""
+    jobs = decode_step_jobs(n_users, compute, units, transfer)
+    outcome = DrexScheduler().simulate(jobs)
+    total_units = n_users * units
+    per_nma = -(-total_units // 8)
+    lower = max(per_nma * compute, n_users * transfer)
+    upper = total_units * compute + n_users * transfer
+    assert lower - 1e-6 <= outcome.makespan_ns <= upper + 1e-6
+    # Work conservation: busy time equals submitted work.
+    assert sum(outcome.nma_busy_ns.values()) == pytest.approx(
+        total_units * compute, rel=1e-9)
+    assert outcome.cxl_busy_ns == pytest.approx(n_users * transfer, rel=1e-9)

@@ -1,0 +1,89 @@
+"""KV cache behavior, including the dense/sparse split LongSight relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.kv_cache import KVCache, LayerKV
+from tests.conftest import TINY
+
+
+def _kv(rng, n, heads=2, dim=8):
+    return rng.normal(size=(heads, n, dim)), rng.normal(size=(heads, n, dim))
+
+
+class TestLayerKV:
+    def test_append_and_read_back(self, rng):
+        layer = LayerKV(2, 8, initial_capacity=4)
+        k1, v1 = _kv(rng, 3)
+        k2, v2 = _kv(rng, 5)
+        layer.append(k1, v1)
+        layer.append(k2, v2)
+        assert len(layer) == 8
+        np.testing.assert_array_equal(layer.keys[:, :3], k1)
+        np.testing.assert_array_equal(layer.keys[:, 3:], k2)
+        np.testing.assert_array_equal(layer.values[:, 3:], v2)
+
+    def test_growth_preserves_contents(self, rng):
+        layer = LayerKV(2, 8, initial_capacity=2)
+        chunks = [_kv(rng, 7) for _ in range(6)]
+        for k, v in chunks:
+            layer.append(k, v)
+        expected = np.concatenate([k for k, _ in chunks], axis=1)
+        np.testing.assert_array_equal(layer.keys, expected)
+
+    def test_shape_validation(self, rng):
+        layer = LayerKV(2, 8)
+        k, v = _kv(rng, 3)
+        with pytest.raises(ValueError):
+            layer.append(k, v[:, :2])
+        with pytest.raises(ValueError):
+            layer.append(k[:1], v[:1])
+
+    @given(st.lists(st.integers(min_value=1, max_value=9), min_size=1,
+                    max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_length_is_sum_of_appends(self, sizes):
+        rng = np.random.default_rng(0)
+        layer = LayerKV(1, 4, initial_capacity=1)
+        for n in sizes:
+            k, v = _kv(rng, n, heads=1, dim=4)
+            layer.append(k, v)
+        assert len(layer) == sum(sizes)
+
+
+class TestWindowSplit:
+    def _filled(self, rng, n):
+        cache = KVCache(TINY)
+        for layer in range(TINY.n_layers):
+            k, v = _kv(rng, n, TINY.n_kv_heads, TINY.head_dim)
+            cache.append(layer, k, v)
+        return cache
+
+    def test_short_context_fully_dense(self, rng):
+        cache = self._filled(rng, 10)
+        k, v, pos = cache.window_view(0, window=8, n_sink=4)
+        assert k.shape[1] == 10
+        np.testing.assert_array_equal(pos, np.arange(10))
+        ko, vo, pos_o = cache.offloaded_view(0, window=8, n_sink=4)
+        assert ko.shape[1] == 0 and len(pos_o) == 0
+
+    def test_split_partitions_positions(self, rng):
+        cache = self._filled(rng, 50)
+        _, _, dense = cache.window_view(1, window=16, n_sink=4)
+        _, _, sparse = cache.offloaded_view(1, window=16, n_sink=4)
+        combined = np.sort(np.concatenate([dense, sparse]))
+        np.testing.assert_array_equal(combined, np.arange(50))
+        assert set(dense[:4]) == {0, 1, 2, 3}          # sinks
+        assert set(dense[4:]) == set(range(34, 50))     # recent window
+
+    def test_views_match_stored_data(self, rng):
+        cache = self._filled(rng, 40)
+        k, v, pos = cache.offloaded_view(0, window=8, n_sink=2)
+        np.testing.assert_array_equal(k, cache.layers[0].keys[:, pos])
+        np.testing.assert_array_equal(v, cache.layers[0].values[:, pos])
+
+    def test_len_tracks_tokens(self, rng):
+        cache = self._filled(rng, 13)
+        assert len(cache) == 13

@@ -1,0 +1,119 @@
+"""Inference model behavior: shapes, causality, cache equivalences."""
+
+import numpy as np
+import pytest
+
+from repro.llm.kv_cache import KVCache
+from repro.llm.model import DenseBackend, Transformer, init_weights
+from tests.conftest import TINY, TINY_NOBIAS
+
+
+class TestInitWeights:
+    def test_deterministic(self):
+        a = init_weights(TINY, seed=3)
+        b = init_weights(TINY, seed=3)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_seed_changes_weights(self):
+        a = init_weights(TINY, seed=3)
+        b = init_weights(TINY, seed=4)
+        assert not np.array_equal(a["wq.0"], b["wq.0"])
+
+    def test_bias_keys_follow_config(self):
+        with_bias = init_weights(TINY, seed=0)
+        without = init_weights(TINY_NOBIAS, seed=0)
+        assert "bk.0" in with_bias and "bq.0" in with_bias
+        assert "bk.0" not in without
+
+    def test_shapes(self):
+        w = init_weights(TINY)
+        assert w["embed"].shape == (TINY.vocab_size, TINY.d_model)
+        assert w["wk.0"].shape == (TINY.d_model, TINY.kv_dim)
+        assert w["w_down.1"].shape == (TINY.d_ff, TINY.d_model)
+
+
+class TestForward:
+    def test_logits_shape(self, tiny_model, tiny_tokens):
+        logits = tiny_model.forward_full(tiny_tokens)
+        assert logits.shape == (len(tiny_tokens), TINY.vocab_size)
+        assert np.isfinite(logits).all()
+
+    def test_block_size_invariance(self, tiny_model, tiny_tokens):
+        a = tiny_model.forward_full(tiny_tokens, block_size=7)
+        b = tiny_model.forward_full(tiny_tokens, block_size=96)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_causality(self, tiny_model, rng):
+        """Changing a future token must not affect earlier logits."""
+        tokens = rng.integers(0, TINY.vocab_size, size=30)
+        base = tiny_model.forward_full(tokens)
+        mutated = tokens.copy()
+        mutated[-1] = (mutated[-1] + 1) % TINY.vocab_size
+        out = tiny_model.forward_full(mutated)
+        np.testing.assert_allclose(base[:-1], out[:-1], atol=1e-12)
+        assert not np.allclose(base[-1], out[-1])
+
+    def test_prefill_matches_forward_full(self, tiny_model, tiny_tokens):
+        full = tiny_model.forward_full(tiny_tokens)
+        cache = KVCache(TINY)
+        last = tiny_model.prefill(tiny_tokens, cache, block_size=11)
+        np.testing.assert_allclose(last, full[-1], atol=1e-10)
+        assert len(cache) == len(tiny_tokens)
+
+    def test_decode_matches_forward_full(self, tiny_model, tiny_tokens):
+        """prefill + decode_step must reproduce teacher-forced logits."""
+        split = 60
+        full = tiny_model.forward_full(tiny_tokens)
+        cache = KVCache(TINY)
+        tiny_model.prefill(tiny_tokens[:split], cache)
+        for t in range(split, len(tiny_tokens)):
+            logits = tiny_model.decode_step(int(tiny_tokens[t]), cache)
+            np.testing.assert_allclose(logits, full[t], atol=1e-9)
+
+    def test_no_bias_config_runs(self, rng):
+        model = Transformer(TINY_NOBIAS, seed=2)
+        tokens = rng.integers(0, TINY_NOBIAS.vocab_size, size=20)
+        logits = model.forward_full(tokens)
+        assert np.isfinite(logits).all()
+
+
+class TestDenseBackend:
+    def test_gqa_grouping(self, rng):
+        """Query heads of the same group must use their own queries but the
+        shared KV head."""
+        backend = DenseBackend()
+        q = rng.normal(size=(4, 3, 8))
+        k = rng.normal(size=(2, 10, 8))
+        v = rng.normal(size=(2, 10, 8))
+        out = backend.forward(0, q, k, v)
+        assert out.shape == (4, 3, 8)
+        # Head 0 and 1 share kv head 0: same K/V, different q -> different out
+        assert not np.allclose(out[0], out[1])
+        # Identical queries on the same KV head give identical outputs.
+        q2 = q.copy()
+        q2[1] = q2[0]
+        out2 = backend.forward(0, q2, k, v)
+        np.testing.assert_allclose(out2[0], out2[1])
+
+
+class TestConfigValidation:
+    def test_bad_gqa_ratio(self):
+        from repro.llm.config import ModelConfig
+
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", vocab_size=10, n_layers=1, n_q_heads=5,
+                        n_kv_heads=2, head_dim=8, d_ff=16)
+
+    def test_odd_head_dim(self):
+        from repro.llm.config import ModelConfig
+
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", vocab_size=10, n_layers=1, n_q_heads=2,
+                        n_kv_heads=2, head_dim=7, d_ff=16)
+
+    def test_derived_dims(self):
+        assert TINY.d_model == 32
+        assert TINY.gqa_group_size == 2
+        assert TINY.kv_dim == 16
+        assert TINY.kv_bytes_per_token() == 2 * 16 * 2 * 2

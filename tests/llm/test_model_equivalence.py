@@ -1,0 +1,57 @@
+"""The trainable (autograd) and inference models must agree exactly."""
+
+import numpy as np
+
+from repro.llm.model import Transformer, TrainableTransformer, init_weights
+from tests.conftest import TINY, TINY_NOBIAS
+
+
+def test_forward_equivalence(rng):
+    weights = init_weights(TINY, seed=11)
+    inference = Transformer(TINY, weights)
+    trainable = TrainableTransformer(TINY, weights)
+    tokens = rng.integers(0, TINY.vocab_size, size=35)
+    a = inference.forward_full(tokens, block_size=13)
+    b = trainable.forward(tokens[None, :]).data[0]
+    np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+def test_forward_equivalence_no_bias(rng):
+    weights = init_weights(TINY_NOBIAS, seed=11)
+    inference = Transformer(TINY_NOBIAS, weights)
+    trainable = TrainableTransformer(TINY_NOBIAS, weights)
+    tokens = rng.integers(0, TINY_NOBIAS.vocab_size, size=24)
+    np.testing.assert_allclose(
+        inference.forward_full(tokens),
+        trainable.forward(tokens[None, :]).data[0], atol=1e-10)
+
+
+def test_batched_forward_matches_per_sequence(rng):
+    weights = init_weights(TINY, seed=2)
+    trainable = TrainableTransformer(TINY, weights)
+    batch = rng.integers(0, TINY.vocab_size, size=(3, 20))
+    joint = trainable.forward(batch).data
+    for i in range(3):
+        single = trainable.forward(batch[i : i + 1]).data[0]
+        np.testing.assert_allclose(joint[i], single, atol=1e-10)
+
+
+def test_export_weights_round_trip(rng):
+    trainable = TrainableTransformer(TINY, seed=4)
+    exported = trainable.export_weights()
+    inference = Transformer(TINY, exported)
+    tokens = rng.integers(0, TINY.vocab_size, size=18)
+    np.testing.assert_allclose(
+        inference.forward_full(tokens),
+        trainable.forward(tokens[None, :]).data[0], atol=1e-10)
+
+
+def test_loss_is_mean_next_token_nll(rng):
+    from repro.llm.ops import cross_entropy
+
+    weights = init_weights(TINY, seed=6)
+    trainable = TrainableTransformer(TINY, weights)
+    tokens = rng.integers(0, TINY.vocab_size, size=(2, 16))
+    loss = float(trainable.loss(tokens).data)
+    logits = trainable.forward(tokens[:, :-1]).data
+    assert np.isclose(loss, cross_entropy(logits, tokens[:, 1:]))

@@ -1,0 +1,39 @@
+"""Perplexity evaluation tests."""
+
+import numpy as np
+
+from repro.llm.perplexity import nll_per_token, perplexity, perplexity_increase
+from repro.llm.model import Transformer
+from tests.conftest import TINY
+
+
+def test_uniform_logits_give_vocab_perplexity(tiny_model, tiny_tokens,
+                                              monkeypatch):
+    monkeypatch.setattr(
+        tiny_model, "forward_full",
+        lambda tokens, backend=None, block_size=256: np.zeros(
+            (len(tokens), TINY.vocab_size)))
+    assert np.isclose(perplexity(tiny_model, tiny_tokens), TINY.vocab_size)
+
+
+def test_nll_length_and_burn_in(tiny_model, tiny_tokens):
+    nll = nll_per_token(tiny_model, tiny_tokens)
+    assert len(nll) == len(tiny_tokens) - 1
+    burned = nll_per_token(tiny_model, tiny_tokens, burn_in=10)
+    np.testing.assert_array_equal(burned, nll[10:])
+
+
+def test_perplexity_positive_and_finite(tiny_model, tiny_tokens):
+    ppl = perplexity(tiny_model, tiny_tokens)
+    assert np.isfinite(ppl) and ppl > 1.0
+
+
+def test_block_size_does_not_change_result(tiny_model, tiny_tokens):
+    a = perplexity(tiny_model, tiny_tokens, block_size=9)
+    b = perplexity(tiny_model, tiny_tokens, block_size=64)
+    assert np.isclose(a, b)
+
+
+def test_perplexity_increase():
+    assert np.isclose(perplexity_increase(10.5, 10.0), 0.05)
+    assert perplexity_increase(9.0, 10.0) < 0

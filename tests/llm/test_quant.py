@@ -1,0 +1,72 @@
+"""BF16 emulation tests, including the SCF sign-preservation property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.scf import sign_bits
+from repro.llm.quant import Bf16KVStore, bf16_error_bound, to_bf16
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def test_exactly_representable_values_unchanged():
+    # Powers of two and small integers are exact in BF16.
+    x = np.array([0.0, 1.0, -2.0, 0.5, 256.0, -1024.0])
+    np.testing.assert_array_equal(to_bf16(x), x)
+
+
+def test_rounding_error_within_bound():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=10_000) * 100.0
+    err = np.abs(to_bf16(x) - x)
+    assert (err <= bf16_error_bound(x) + 1e-30).all()
+
+
+def test_mantissa_rounds_at_7_bits():
+    # BF16 keeps 7 explicit mantissa bits: ULP at 1.0 is 2^-7.
+    # 1 + 2^-9 rounds down to 1.0; 1 + 3*2^-9 (0.75 ULP) rounds up.
+    assert to_bf16(np.array([1.0 + 2.0**-9]))[0] == 1.0
+    assert to_bf16(np.array([1.0 + 3 * 2.0**-9]))[0] == 1.0 + 2.0**-7
+
+
+@given(hnp.arrays(np.float64, 50,
+                  elements=floats.filter(lambda v: v == 0 or abs(v) > 1e-30)))
+@settings(max_examples=40, deadline=None)
+def test_sign_bits_preserved(x):
+    """The property Section 4 relies on: sign filtering is insensitive to
+    the stored datatype.  (Negative denormals underflowing to -0.0 are
+    excluded: our sign convention maps both zeros to 'positive'.)"""
+    np.testing.assert_array_equal(sign_bits(to_bf16(x)), sign_bits(x))
+
+
+def test_idempotent():
+    rng = np.random.default_rng(0)
+    x = to_bf16(rng.normal(size=100))
+    np.testing.assert_array_equal(to_bf16(x), x)
+
+
+def test_specials_preserved():
+    x = np.array([np.inf, -np.inf])
+    np.testing.assert_array_equal(to_bf16(x), x)
+    assert np.isnan(to_bf16(np.array([np.nan]))[0])
+
+
+def test_store_quantizes_and_concatenates():
+    store = Bf16KVStore()
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(3, 4))
+    b = rng.normal(size=(2, 4))
+    store.append(a, a * 2)
+    store.append(b, b * 2)
+    assert len(store) == 5
+    np.testing.assert_array_equal(store.keys[:3], to_bf16(a))
+    np.testing.assert_array_equal(store.values[3:], to_bf16(b * 2))
+
+
+def test_empty_store():
+    store = Bf16KVStore()
+    assert len(store) == 0
+    assert store.keys.size == 0

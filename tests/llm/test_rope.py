@@ -1,0 +1,59 @@
+"""RoPE properties that LongSight depends on."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.rope import apply_rope, rope_cos_sin, rope_frequencies
+
+
+def test_position_zero_is_identity(rng):
+    x = rng.normal(size=(3, 5, 8))
+    out = apply_rope(x, np.zeros(5, dtype=int))
+    np.testing.assert_allclose(out, x, atol=1e-12)
+
+
+def test_norm_preserved(rng):
+    x = rng.normal(size=(2, 6, 16))
+    out = apply_rope(x, np.arange(100, 106))
+    np.testing.assert_allclose(np.linalg.norm(out, axis=-1),
+                               np.linalg.norm(x, axis=-1))
+
+
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=0, max_value=500),
+       st.integers(min_value=0, max_value=300))
+@settings(max_examples=30, deadline=None)
+def test_relative_position_property(m, n, shift):
+    """q(m) . k(n) must depend only on m - n — the property that makes
+    post-RoPE keys a meaningful similarity database."""
+    rng = np.random.default_rng(5)
+    q = rng.normal(size=(1, 8))
+    k = rng.normal(size=(1, 8))
+    dot_a = apply_rope(q, np.array([m]))[0] @ apply_rope(k, np.array([n]))[0]
+    dot_b = apply_rope(q, np.array([m + shift]))[0] \
+        @ apply_rope(k, np.array([n + shift]))[0]
+    assert np.isclose(dot_a, dot_b, atol=1e-9)
+
+
+def test_frequencies_decreasing():
+    f = rope_frequencies(32, theta=10000.0)
+    assert f[0] == 1.0
+    assert np.all(np.diff(f) < 0)
+
+
+def test_cos_sin_shapes():
+    cos, sin = rope_cos_sin(np.arange(7), 16)
+    assert cos.shape == sin.shape == (7, 8)
+    np.testing.assert_allclose(cos**2 + sin**2, 1.0)
+
+
+def test_low_frequency_dims_barely_rotate():
+    """Large theta keeps tail dimensions nearly static over long ranges —
+    the mechanism by which a pre-RoPE key bias yields clustered post-RoPE
+    keys (see ModelConfig.qk_bias)."""
+    x = np.ones((1, 32))
+    out = apply_rope(x, np.array([1000]), theta=500000.0)
+    # The slowest plane rotates by 1000 * 500000^(-30/32) ~ 0.0046 rad.
+    assert abs(out[0, 15] - 1.0) < 0.01
+    assert abs(out[0, 0] - np.cos(1000.0) + np.sin(1000.0)) < 1e-6

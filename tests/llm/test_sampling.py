@@ -1,0 +1,43 @@
+"""Generation tests."""
+
+import numpy as np
+
+from repro.llm.kv_cache import KVCache
+from repro.llm.sampling import generate
+from tests.conftest import TINY
+
+
+def test_greedy_is_deterministic(tiny_model, rng):
+    prompt = rng.integers(0, TINY.vocab_size, size=12)
+    a = generate(tiny_model, prompt, n_new=8)
+    b = generate(tiny_model, prompt, n_new=8)
+    np.testing.assert_array_equal(a, b)
+    assert a.shape == (8,)
+
+
+def test_greedy_matches_argmax_chain(tiny_model, rng):
+    prompt = rng.integers(0, TINY.vocab_size, size=10)
+    out = generate(tiny_model, prompt, n_new=3)
+    cache = KVCache(TINY)
+    logits = tiny_model.prefill(prompt, cache)
+    expected = []
+    for _ in range(3):
+        token = int(np.argmax(logits))
+        expected.append(token)
+        logits = tiny_model.decode_step(token, cache)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_temperature_sampling_seeded(tiny_model, rng):
+    prompt = rng.integers(0, TINY.vocab_size, size=10)
+    a = generate(tiny_model, prompt, n_new=6, temperature=1.0, seed=1)
+    b = generate(tiny_model, prompt, n_new=6, temperature=1.0, seed=1)
+    c = generate(tiny_model, prompt, n_new=6, temperature=1.0, seed=2)
+    np.testing.assert_array_equal(a, b)
+    assert a.shape == c.shape == (6,)
+
+
+def test_tokens_in_vocab(tiny_model, rng):
+    prompt = rng.integers(0, TINY.vocab_size, size=10)
+    out = generate(tiny_model, prompt, n_new=10, temperature=2.0, seed=0)
+    assert ((0 <= out) & (out < TINY.vocab_size)).all()

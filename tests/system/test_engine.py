@@ -1,0 +1,135 @@
+"""LongSight serving-engine model tests (Figures 7, 8, 9 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LongSightConfig
+from repro.llm.config import LLAMA3_1B, LLAMA3_8B
+from repro.system.baselines import DenseGpuSystem
+from repro.system.engine import LongSightSystem
+
+
+@pytest.fixture
+def engine():
+    return LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                           top_k=1024, use_itq=True))
+
+
+class TestCapacity:
+    def test_supports_1m_context_both_models(self, engine):
+        assert engine.max_users(LLAMA3_1B, 1_048_576) >= 8
+        assert engine.max_users(LLAMA3_8B, 1_048_576) >= 2
+
+    def test_more_users_than_single_gpu(self, engine):
+        gpu = DenseGpuSystem(1)
+        for context in (32768, 131072):
+            assert engine.max_users(LLAMA3_8B, context) > \
+                gpu.max_users(LLAMA3_8B, context)
+
+    def test_queue_depth_cap(self, engine):
+        assert engine.max_users(LLAMA3_1B, 2048) <= 512
+
+    def test_drex_bytes_grow_with_context(self, engine):
+        a = engine.drex_bytes_per_user(LLAMA3_8B, 32768)
+        b = engine.drex_bytes_per_user(LLAMA3_8B, 131072)
+        assert 0 < a < b
+
+    def test_short_context_no_offload(self, engine):
+        assert engine.sparse_tokens(512) == 0
+        assert engine.drex_bytes_per_user(LLAMA3_8B, 512) == 0
+
+    def test_over_capacity_returns_none(self, engine):
+        limit = engine.max_users(LLAMA3_8B, 1_048_576)
+        assert engine.evaluate(LLAMA3_8B, 1_048_576, limit + 1) is None
+
+
+class TestEndToEnd:
+    def test_beats_gpu_at_long_context(self, engine):
+        """The paper's headline shape: LongSight wins above ~128K."""
+        gpu = DenseGpuSystem(1)
+        from repro.bench.fig7 import best_point
+
+        for config in (LLAMA3_1B,):
+            g = best_point(gpu, config, 262144)
+            ls = best_point(engine, config, 262144)
+            assert ls.throughput_tps > 2 * g.throughput_tps
+
+    def test_loses_or_ties_at_short_context(self, engine):
+        """At 8K, dense GPUs are competitive (Section 9.1)."""
+        from repro.bench.fig7 import best_point
+
+        gpu2 = DenseGpuSystem(2)
+        g = best_point(gpu2, LLAMA3_8B, 8192)
+        ls = best_point(engine, LLAMA3_8B, 8192)
+        assert g.throughput_tps > ls.throughput_tps
+
+    def test_latency_grows_with_users(self, engine):
+        lats = [engine.evaluate(LLAMA3_8B, 131072, u).token_latency_s
+                for u in (1, 8, 31)]
+        assert lats == sorted(lats)
+
+    def test_headline_speedups_in_paper_ballpark(self):
+        """Paper: 8.1-9.6x throughput, 3.6-11.9x per-user latency at max
+        1-GPU context.  Accept a generous band around those."""
+        from repro.bench.fig7 import headline_speedups
+
+        for config in (LLAMA3_1B, LLAMA3_8B):
+            h = headline_speedups(config)
+            assert 4.0 <= h["throughput_ratio"] <= 20.0
+            assert 2.0 <= h["per_user_latency_ratio"] <= 20.0
+
+
+class TestBottleneck:
+    def test_single_user_gpu_bound(self, engine):
+        assert engine.bottleneck(LLAMA3_8B, 32768, 1) == "GPU"
+
+    def test_saturated_short_context_device_bound(self, engine):
+        users = engine.max_users(LLAMA3_1B, 8192)
+        assert engine.bottleneck(LLAMA3_1B, 8192, users) in ("DReX", "CXL")
+
+
+class TestBreakdowns:
+    def test_single_offload_components_positive(self, engine):
+        parts = engine.single_offload_breakdown(LLAMA3_8B, 131072)
+        assert all(v >= 0 for v in parts.values())
+        assert parts["score"] > 0
+        assert parts["value_read"] > 0
+
+    def test_no_offload_below_window(self, engine):
+        parts = engine.single_offload_breakdown(LLAMA3_8B, 512)
+        assert all(v == 0 for v in parts.values())
+
+    def test_score_grows_with_context(self, engine):
+        a = engine.single_offload_breakdown(LLAMA3_8B, 32768)
+        b = engine.single_offload_breakdown(LLAMA3_8B, 1_048_576)
+        assert b["score"] > a["score"]
+
+    def test_value_read_fixed_per_user(self, engine):
+        """Value loading is a per-user constant once k saturates (the
+        paper's short-context bottleneck narrative)."""
+        a = engine.single_offload_breakdown(LLAMA3_8B, 131072)
+        b = engine.single_offload_breakdown(LLAMA3_8B, 1_048_576)
+        assert a["value_read"] == pytest.approx(b["value_read"], rel=0.01)
+
+    def test_saturated_overlaps_value_read(self, engine):
+        single = engine.single_offload_breakdown(LLAMA3_8B, 1_048_576)
+        saturated = engine.saturated_offload_breakdown(LLAMA3_8B, 1_048_576)
+        assert saturated["value_read"] <= single["value_read"]
+
+    def test_effective_top_k_clamped_by_survivors(self, engine):
+        # Just above the window: few sparse tokens -> k_eff < top_k.
+        small = engine.effective_top_k(1024 + 16 + 2000)
+        assert small < engine.ls.top_k
+        big = engine.effective_top_k(1_048_576)
+        assert big == engine.ls.top_k
+
+
+class TestEvaluateBreakdown:
+    def test_components_nonnegative(self, engine):
+        point = engine.evaluate(LLAMA3_8B, 131072, 4)
+        assert all(v >= 0 for v in point.breakdown.values())
+
+    def test_dense_only_when_context_fits_window(self, engine):
+        point = engine.evaluate(LLAMA3_8B, 512, 4)
+        assert point.breakdown["drex_s"] == 0
+        assert point.breakdown["merge_s"] == 0

@@ -1,0 +1,153 @@
+"""Multi-tenant serving simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LongSightConfig
+from repro.llm.config import LLAMA3_8B, LLAMA3_1B
+from repro.system.baselines import DenseGpuSystem
+from repro.system.engine import LongSightSystem
+from repro.system.serving_sim import (
+    ServingSimulator,
+    Session,
+    poisson_workload,
+)
+
+
+def _sessions(n, prompt=32768, output=32, spacing=0.0):
+    return [Session(session_id=i, arrival_s=i * spacing,
+                    prompt_tokens=prompt, output_tokens=output)
+            for i in range(n)]
+
+
+class TestWorkload:
+    def test_poisson_deterministic_and_sorted(self):
+        a = poisson_workload(20, 1.0, 1000, 10, seed=3)
+        b = poisson_workload(20, 1.0, 1000, 10, seed=3)
+        assert [s.arrival_s for s in a] == [s.arrival_s for s in b]
+        arrivals = [s.arrival_s for s in a]
+        assert arrivals == sorted(arrivals)
+
+    def test_prompt_jitter_bounded(self):
+        sessions = poisson_workload(50, 1.0, 1000, 10, seed=0,
+                                    prompt_jitter=0.25)
+        prompts = [s.prompt_tokens for s in sessions]
+        assert min(prompts) >= 750 and max(prompts) <= 1250
+        assert len(set(prompts)) > 1
+
+
+class TestHeterogeneousCosts:
+    def test_dense_step_matches_uniform_evaluate(self):
+        system = DenseGpuSystem(1)
+        uniform = system.evaluate(LLAMA3_8B, 32768, 4)
+        step = system.step_latency_s(LLAMA3_8B, [32768] * 4)
+        assert step == pytest.approx(uniform.token_latency_s, rel=1e-9)
+
+    def test_longsight_step_matches_uniform_evaluate(self):
+        engine = LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                                 top_k=1024, use_itq=True))
+        uniform = engine.evaluate(LLAMA3_8B, 131072, 4)
+        step = engine.step_latency_s(LLAMA3_8B, [131072] * 4)
+        assert step == pytest.approx(uniform.token_latency_s, rel=0.02)
+
+    def test_mixed_contexts_between_extremes(self):
+        system = DenseGpuSystem(1)
+        low = system.step_latency_s(LLAMA3_8B, [8192] * 4)
+        mixed = system.step_latency_s(LLAMA3_8B, [8192, 8192, 65536, 65536])
+        high = system.step_latency_s(LLAMA3_8B, [65536] * 4)
+        assert low < mixed < high
+
+    def test_admits_respects_capacity(self):
+        system = DenseGpuSystem(1)
+        assert system.admits(LLAMA3_8B, [32768] * 4)
+        assert not system.admits(LLAMA3_8B, [524288] * 4)
+        engine = LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                                 top_k=1024))
+        assert engine.admits(LLAMA3_8B, [524288] * 4)
+
+
+class TestSimulation:
+    def test_all_sessions_complete(self):
+        system = DenseGpuSystem(1)
+        sim = ServingSimulator(system, LLAMA3_8B)
+        report = sim.run(_sessions(3, prompt=16384, output=8))
+        assert len(report.completed) == 3
+        assert report.tokens_generated == 24
+        assert report.throughput_tps > 0
+
+    def test_admission_queues_when_full(self):
+        """More long sessions than HBM fits: later ones wait."""
+        system = DenseGpuSystem(1)
+        sim = ServingSimulator(system, LLAMA3_8B)
+        sessions = _sessions(8, prompt=131072, output=4)
+        report = sim.run(sessions)
+        assert len(report.completed) == 8
+        delays = [s.queueing_delay_s for s in sessions]
+        assert max(delays) > 0.0
+        assert report.peak_concurrency < 8
+
+    def test_impossible_sessions_rejected(self):
+        system = DenseGpuSystem(1)
+        sim = ServingSimulator(system, LLAMA3_8B)
+        report = sim.run(_sessions(2, prompt=1_048_576, output=4))
+        assert not report.completed
+        assert report.tokens_generated == 0
+
+    def test_longsight_sustains_more_concurrency(self):
+        """The Section 9.1 capacity story under dynamics: at 128K prompts,
+        LongSight admits far more concurrent sessions than one GPU."""
+        config = LLAMA3_8B
+        sessions_a = _sessions(12, prompt=131072, output=4)
+        sessions_b = _sessions(12, prompt=131072, output=4)
+        gpu_report = ServingSimulator(DenseGpuSystem(1), config).run(sessions_a)
+        engine = LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                                 top_k=1024, use_itq=True))
+        ls_report = ServingSimulator(engine, config).run(sessions_b)
+        assert ls_report.peak_concurrency > gpu_report.peak_concurrency
+        assert ls_report.mean_queueing_delay_s() < \
+            gpu_report.mean_queueing_delay_s()
+
+    def test_context_grows_during_decode(self):
+        engine = LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                                 top_k=1024))
+        sim = ServingSimulator(engine, LLAMA3_1B)
+        session = Session(session_id=0, arrival_s=0.0, prompt_tokens=4096,
+                          output_tokens=5)
+        sim.run([session])
+        assert session.context == 4096 + 5
+        assert session.finished_s is not None
+
+    def test_report_metrics(self):
+        system = DenseGpuSystem(1)
+        report = ServingSimulator(system, LLAMA3_1B).run(
+            _sessions(2, prompt=1024, output=4, spacing=0.001))
+        assert report.mean_session_latency_s() > 0
+        assert report.mean_queueing_delay_s() >= 0
+
+
+class TestPrefillIntegration:
+    def test_prefill_delays_first_token(self):
+        from repro.system.prefill import PrefillModel
+
+        system = DenseGpuSystem(1)
+        sessions_fast = _sessions(1, prompt=131072, output=4)
+        sessions_slow = _sessions(1, prompt=131072, output=4)
+        no_prefill = ServingSimulator(system, LLAMA3_8B).run(sessions_fast)
+        with_prefill = ServingSimulator(
+            system, LLAMA3_8B, prefill=PrefillModel()).run(sessions_slow)
+        assert len(with_prefill.completed) == 1
+        assert with_prefill.mean_session_latency_s() > \
+            no_prefill.mean_session_latency_s()
+        assert sessions_slow[0].ready_s > sessions_slow[0].admitted_s
+
+    def test_prefill_uses_longsight_object_writes(self):
+        """The LongSight system hands its algorithm config to the prefill
+        model so DReX object writes are accounted (and overlapped)."""
+        from repro.system.prefill import PrefillModel
+
+        engine = LongSightSystem(LongSightConfig(window=1024, n_sink=16,
+                                                 top_k=1024))
+        sessions = _sessions(1, prompt=131072, output=2)
+        report = ServingSimulator(engine, LLAMA3_8B,
+                                  prefill=PrefillModel()).run(sessions)
+        assert len(report.completed) == 1
