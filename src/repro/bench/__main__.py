@@ -19,6 +19,7 @@ from repro.bench.tables import Table, results_dir
 
 def _runners() -> Dict[str, Callable[[], Table]]:
     from repro.bench.dynax import run_dynax
+    from repro.bench.micro import run_micro
     from repro.bench.fig3 import run_fig3
     from repro.bench.fig4 import run_fig4
     from repro.bench.fig7 import run_fig7
@@ -40,6 +41,7 @@ def _runners() -> Dict[str, Callable[[], Table]]:
         "fig10": run_fig10,
         "dynax": run_dynax,
         "power": run_power_area,
+        "micro": run_micro,
     }
 
 

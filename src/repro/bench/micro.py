@@ -1,0 +1,248 @@
+"""Attention microbenchmark CLI (``python -m repro.bench.micro``).
+
+Times prefill and decode for three attention backends across context
+lengths:
+
+- ``sliding_window`` — the StreamingLLM-style baseline (O(window)/query),
+- ``hybrid_reference`` — :class:`LongSightAttention` per-head reference loop,
+- ``hybrid_fast`` — the head-batched fast path consuming the KV cache's
+  incremental sign store.
+
+Results are written as ``BENCH_attention.json`` (default: ``results/``) so
+later performance work has a trajectory to regress against.  The JSON
+schema is validated by ``tests/bench/test_micro.py``:
+
+- ``contexts`` is a strictly increasing token-count axis,
+- every backend series has one entry per context,
+- all times are seconds (best of ``--repeats``), speedups are ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.tables import Table, results_dir
+from repro.core.config import LongSightConfig
+from repro.core.hybrid import LongSightAttention, SlidingWindowAttention
+from repro.llm.config import ModelConfig
+from repro.llm.kv_cache import KVCache
+
+SCHEMA_VERSION = 1
+RESULT_NAME = "BENCH_attention.json"
+BACKENDS = ("sliding_window", "hybrid_reference", "hybrid_fast")
+
+
+def bench_model_config(n_q_heads: int = 8, n_kv_heads: int = 2,
+                       head_dim: int = 64) -> ModelConfig:
+    """A single-layer attention-only stand-in (weights are never run)."""
+    return ModelConfig(name="bench-attn", vocab_size=256, n_layers=1,
+                       n_q_heads=n_q_heads, n_kv_heads=n_kv_heads,
+                       head_dim=head_dim, d_ff=4 * n_q_heads * head_dim)
+
+
+def _time_best(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _decode_runners(mc: ModelConfig, cfg: LongSightConfig, k: np.ndarray,
+                    v: np.ndarray, q: np.ndarray) -> Dict[str, Callable]:
+    """One-token decode at full context, per backend."""
+    sliding = SlidingWindowAttention(window=cfg.window, n_sink=cfg.n_sink)
+    reference = LongSightAttention(cfg, use_fast_path=False)
+    fast = LongSightAttention(cfg)
+    cache = KVCache(mc)
+    fast.prepare_cache(cache)
+    cache.append(0, k, v)
+    return {
+        "sliding_window": lambda: sliding.forward(0, q, k, v),
+        "hybrid_reference": lambda: reference.forward(0, q, k, v),
+        "hybrid_fast": lambda: fast.forward_cached(0, q, cache),
+    }
+
+
+def _prefill_runners(mc: ModelConfig, cfg: LongSightConfig, k: np.ndarray,
+                     v: np.ndarray, q_full: np.ndarray,
+                     block_size: int) -> Dict[str, Callable]:
+    """Blockwise prefill over the whole context, per backend."""
+    n_ctx = k.shape[1]
+    sliding = SlidingWindowAttention(window=cfg.window, n_sink=cfg.n_sink)
+    reference = LongSightAttention(cfg, use_fast_path=False)
+    fast = LongSightAttention(cfg)
+
+    def run_stateless(backend) -> None:
+        for start in range(0, n_ctx, block_size):
+            stop = min(start + block_size, n_ctx)
+            backend.forward(0, q_full[:, start:stop], k[:, :stop], v[:, :stop])
+
+    def run_fast() -> None:
+        cache = KVCache(mc)
+        cache.reserve(n_ctx)
+        fast.prepare_cache(cache)
+        for start in range(0, n_ctx, block_size):
+            stop = min(start + block_size, n_ctx)
+            cache.append(0, k[:, start:stop], v[:, start:stop])
+            fast.forward_cached(0, q_full[:, start:stop], cache)
+
+    return {
+        "sliding_window": lambda: run_stateless(sliding),
+        "hybrid_reference": lambda: run_stateless(reference),
+        "hybrid_fast": run_fast,
+    }
+
+
+def run_micro(contexts: Sequence[int] = (512, 1024, 2048, 4096),
+              repeats: int = 5, window: int = 128, n_sink: int = 16,
+              top_k: int = 128, threshold: Optional[float] = None,
+              n_q_heads: int = 8, n_kv_heads: int = 2, head_dim: int = 64,
+              block_size: int = 256, seed: int = 0,
+              out_dir: Optional[pathlib.Path] = None) -> Table:
+    """Run the microbenchmark; returns the table and writes the JSON."""
+    contexts = sorted(set(int(c) for c in contexts))
+    mc = bench_model_config(n_q_heads, n_kv_heads, head_dim)
+    if threshold is None:
+        threshold = head_dim // 2
+    cfg = LongSightConfig(window=window, n_sink=n_sink, top_k=top_k,
+                          thresholds=threshold)
+    rng = np.random.default_rng(seed)
+    kv_dtype = np.dtype(mc.kv_dtype)
+
+    series: Dict[str, Dict[str, List[float]]] = {
+        name: {"decode_s": [], "prefill_s": []} for name in BACKENDS}
+    for n_ctx in contexts:
+        k = rng.normal(size=(n_kv_heads, n_ctx, head_dim)).astype(kv_dtype)
+        v = rng.normal(size=(n_kv_heads, n_ctx, head_dim)).astype(kv_dtype)
+        q_full = rng.normal(size=(n_q_heads, n_ctx, head_dim))
+        q_last = q_full[:, -1:, :]
+        for name, fn in _decode_runners(mc, cfg, k, v, q_last).items():
+            series[name]["decode_s"].append(_time_best(fn, repeats))
+        for name, fn in _prefill_runners(mc, cfg, k, v, q_full,
+                                         block_size).items():
+            series[name]["prefill_s"].append(_time_best(fn, repeats))
+
+    speedup = {
+        f"{phase}_fast_vs_reference": [
+            ref / max(fastt, 1e-12)
+            for ref, fastt in zip(series["hybrid_reference"][f"{phase}_s"],
+                                  series["hybrid_fast"][f"{phase}_s"])]
+        for phase in ("decode", "prefill")
+    }
+
+    payload = {
+        "benchmark": "attention_micro",
+        "schema_version": SCHEMA_VERSION,
+        "units": {"context": "tokens", "decode_s": "seconds per decode step",
+                  "prefill_s": "seconds per full prefill",
+                  "speedup": "reference_time / fast_time"},
+        "model": {"n_q_heads": n_q_heads, "n_kv_heads": n_kv_heads,
+                  "head_dim": head_dim, "kv_dtype": mc.kv_dtype},
+        "config": {"window": window, "n_sink": n_sink, "top_k": top_k,
+                   "threshold": threshold, "block_size": block_size,
+                   "repeats": repeats},
+        "contexts": contexts,
+        "backends": series,
+        "speedup": speedup,
+    }
+    out_dir = pathlib.Path(out_dir) if out_dir is not None else results_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / RESULT_NAME).write_text(json.dumps(payload, indent=2) + "\n")
+
+    table = Table(
+        "attention microbenchmark (decode one token / prefill full context)",
+        ["context", "sw_decode_ms", "ref_decode_ms", "fast_decode_ms",
+         "decode_speedup", "ref_prefill_ms", "fast_prefill_ms",
+         "prefill_speedup"],
+        note=f"best of {repeats}; window={window} top_k={top_k} "
+             f"threshold={threshold} heads={n_q_heads}/{n_kv_heads} "
+             f"d={head_dim}")
+    for i, n_ctx in enumerate(contexts):
+        table.add_row(
+            context=n_ctx,
+            sw_decode_ms=series["sliding_window"]["decode_s"][i] * 1e3,
+            ref_decode_ms=series["hybrid_reference"]["decode_s"][i] * 1e3,
+            fast_decode_ms=series["hybrid_fast"]["decode_s"][i] * 1e3,
+            decode_speedup=speedup["decode_fast_vs_reference"][i],
+            ref_prefill_ms=series["hybrid_reference"]["prefill_s"][i] * 1e3,
+            fast_prefill_ms=series["hybrid_fast"]["prefill_s"][i] * 1e3,
+            prefill_speedup=speedup["prefill_fast_vs_reference"][i],
+        )
+    return table
+
+
+def validate_payload(payload: dict) -> List[str]:
+    """Schema check used by the smoke test; returns a list of problems."""
+    problems = []
+    for key in ("benchmark", "schema_version", "units", "model", "config",
+                "contexts", "backends", "speedup"):
+        if key not in payload:
+            problems.append(f"missing key: {key}")
+    if problems:
+        return problems
+    contexts = payload["contexts"]
+    if any(b >= a for a, b in zip(contexts[1:], contexts)):
+        problems.append("contexts axis is not strictly increasing")
+    for unit_key in ("context", "decode_s", "prefill_s", "speedup"):
+        if unit_key not in payload["units"]:
+            problems.append(f"missing unit: {unit_key}")
+    for name in BACKENDS:
+        backend = payload["backends"].get(name)
+        if backend is None:
+            problems.append(f"missing backend series: {name}")
+            continue
+        for phase in ("decode_s", "prefill_s"):
+            values = backend.get(phase)
+            if values is None or len(values) != len(contexts):
+                problems.append(f"{name}.{phase} length != len(contexts)")
+            elif any(t <= 0 for t in values):
+                problems.append(f"{name}.{phase} has non-positive times")
+    for key in ("decode_fast_vs_reference", "prefill_fast_vs_reference"):
+        values = payload["speedup"].get(key)
+        if values is None or len(values) != len(contexts):
+            problems.append(f"speedup.{key} length != len(contexts)")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.micro",
+        description="Attention prefill/decode microbenchmark "
+                    "(sliding-window vs hybrid vs fast-hybrid).")
+    parser.add_argument("--contexts", type=int, nargs="+",
+                        default=[512, 1024, 2048, 4096])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--window", type=int, default=128)
+    parser.add_argument("--n-sink", type=int, default=16)
+    parser.add_argument("--top-k", type=int, default=128)
+    parser.add_argument("--threshold", type=float, default=None)
+    parser.add_argument("--n-q-heads", type=int, default=8)
+    parser.add_argument("--n-kv-heads", type=int, default=2)
+    parser.add_argument("--head-dim", type=int, default=64)
+    parser.add_argument("--block-size", type=int, default=256)
+    parser.add_argument("--out-dir", type=pathlib.Path, default=None,
+                        help="directory for BENCH_attention.json "
+                             "(default: results/)")
+    args = parser.parse_args(argv)
+    table = run_micro(
+        contexts=args.contexts, repeats=args.repeats, window=args.window,
+        n_sink=args.n_sink, top_k=args.top_k, threshold=args.threshold,
+        n_q_heads=args.n_q_heads, n_kv_heads=args.n_kv_heads,
+        head_dim=args.head_dim, block_size=args.block_size,
+        out_dir=args.out_dir)
+    print(table.render())
+    out_dir = args.out_dir if args.out_dir is not None else results_dir()
+    print(f"[saved to {pathlib.Path(out_dir) / RESULT_NAME}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,8 @@ tuning loops (Section 8.1.3).
 """
 
 from repro.core.config import LongSightConfig
-from repro.core.scf import sign_bits, concordance, scf_filter
+from repro.core.scf import (sign_bits, concordance, scf_filter, pack_signs,
+                            concordance_packed, concordance_packed_many)
 from repro.core.itq import learn_itq_rotation, ItqRotations, fit_itq
 from repro.core.topk import top_k_indices
 from repro.core.sparse import sparse_retrieve, SparseResult
@@ -33,6 +34,9 @@ __all__ = [
     "sign_bits",
     "concordance",
     "scf_filter",
+    "pack_signs",
+    "concordance_packed",
+    "concordance_packed_many",
     "learn_itq_rotation",
     "ItqRotations",
     "fit_itq",

@@ -7,32 +7,70 @@ keeps in HBM) and sparsely — via SCF filtering and top-k — to everything in
 between (what lives in DReX).  A single softmax then runs over the combined
 dense + sparse score set, exactly as in Figure 2b step 6.
 
+Two implementations of the same algorithm live side by side:
+
+- the **fast path** (default): one sign/rotation extraction per KV head
+  shared by its whole GQA group, consuming the KV cache's incremental sign
+  store when available (``LayerKV.packed_signs`` — the software analogue of
+  DReX reusing stored Key Sign Objects for every query).  Decode-sized
+  query blocks run fully head-batched with a packed XOR+popcount
+  concordance kernel; prefill-sized blocks use a per-head pipeline with
+  cache-resident temporaries and BLAS sign-matmul concordance;
+- the **reference path** (``use_fast_path=False``): the original per-head
+  Python loop, kept as the correctness oracle.  The two are equivalent —
+  selected key sets match exactly and outputs match to float round-off
+  (``tests/core/test_fast_equivalence.py``).
+
 :class:`SlidingWindowAttention` is the StreamingLLM-style baseline of
-Section 8.2 / Figure 10: sinks + window only, no sparse component.
+Section 8.2 / Figure 10: sinks + window only, no sparse component.  It
+gathers just the sink+window columns, so its per-query cost is O(window),
+not O(context).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.config import LongSightConfig
 from repro.core.itq import ItqRotations
 from repro.core.metrics import FilterStats
-from repro.core.scf import concordance
+from repro.core.scf import (concordance, concordance_from_signs,
+                            concordance_packed_many, pack_signs, sign_pm1,
+                            unpack_signs_pm1)
 from repro.core.topk import top_k_mask
 from repro.llm.ops import softmax
 
+if TYPE_CHECKING:
+    from repro.llm.kv_cache import KVCache
+
+#: Largest query-block size handled by the fully head-batched fast path
+#: with the packed XOR+popcount concordance kernel.  Larger (prefill-sized)
+#: blocks switch to a per-head pipeline whose (n_new, n_ctx) temporaries
+#: stay cache-resident — batching them into one (Hkv, G, n_new, n_ctx)
+#: array was measured ~2x slower end to end — and whose concordance runs as
+#: one BLAS sign-matmul per head, sharing a single key-sign extraction (or
+#: the unpacked sign store) across each GQA group.
+_PACKED_CONC_MAX_NEW = 32
+
 
 def _region_masks(q_positions: np.ndarray, n_ctx: int, n_sink: int,
-                  window: int) -> tuple[np.ndarray, np.ndarray]:
-    """(dense, sparse-candidate) boolean masks, each ``(n_q, n_ctx)``.
+                  window: int,
+                  key_positions: Optional[np.ndarray] = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """(dense, sparse-candidate) boolean masks, each ``(n_q, n_keys)``.
 
     ``dense`` covers sinks plus the sliding window (clipped causally);
     ``sparse`` is the causal remainder — the region LongSight offloads.
+    By default keys are the full context ``0..n_ctx-1``; ``key_positions``
+    restricts the masks to a gathered subset of columns (used by the
+    O(window) sliding-window baseline).
     """
-    j = np.arange(n_ctx)[None, :]
+    if key_positions is None:
+        j = np.arange(n_ctx)[None, :]
+    else:
+        j = np.asarray(key_positions)[None, :]
     p = np.asarray(q_positions)[:, None]
     causal = j <= p
     dense = ((j < n_sink) | (j > p - window)) & causal
@@ -49,21 +87,164 @@ class LongSightAttention:
             ``config.use_itq`` is set.
         stats: optional :class:`FilterStats` to accumulate access counters
             into (callers typically reset it between measurements).
+        use_fast_path: run the head-batched/packed implementation (default);
+            ``False`` selects the per-head reference loop.
 
-    The backend is stateless across calls apart from ``stats``.
+    The backend is stateless across calls apart from ``stats`` and the
+    optional ``selection_capture`` debug dict: when set to a dictionary,
+    every forward stores the selected sparse-key mask per
+    ``(layer, q_head)`` — the equivalence suite uses this to compare the
+    two paths' selections bit-for-bit.
     """
 
     def __init__(self, config: LongSightConfig,
                  rotations: Optional[ItqRotations] = None,
-                 stats: Optional[FilterStats] = None) -> None:
+                 stats: Optional[FilterStats] = None,
+                 use_fast_path: bool = True) -> None:
         if config.use_itq and rotations is None:
             raise ValueError("use_itq requires an ItqRotations bank")
         self.config = config
         self.rotations = rotations
         self.stats = stats
+        self.use_fast_path = use_fast_path
+        self.selection_capture: Optional[Dict[Tuple[int, int], np.ndarray]] = None
+
+    # -- cache integration ----------------------------------------------------
+
+    def prepare_cache(self, cache: "KVCache") -> None:
+        """Enable the cache's incremental sign store for this backend.
+
+        Called by :class:`Transformer` before prefill/decode (duck-typed
+        hook).  Idempotent; a no-op on the reference path, which never
+        consumes packed signs.
+        """
+        if self.use_fast_path:
+            cache.enable_sign_cache(
+                self.rotations if self.config.use_itq else None)
+
+    def forward_cached(self, layer: int, q: np.ndarray,
+                       cache: "KVCache") -> np.ndarray:
+        """Cache-aware forward: consumes the sign store when compatible."""
+        kv = cache.layers[layer]
+        if not self.use_fast_path:
+            return self._forward_reference(layer, q, kv.keys, kv.values)
+        key_signs = None
+        expected = self.rotations if self.config.use_itq else None
+        if kv.sign_cache_enabled and cache.sign_rotations is expected:
+            key_signs = kv.packed_signs
+        return self._forward_fast(layer, q, kv.keys, kv.values, key_signs)
+
+    # -- protocol entry point -------------------------------------------------
 
     def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
                 v: np.ndarray) -> np.ndarray:
+        if self.use_fast_path:
+            return self._forward_fast(layer, q, k, v, None)
+        return self._forward_reference(layer, q, k, v)
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _stats_per_q(self, n_q_heads: int, n_kv_heads: int) -> bool:
+        # Stats may be tracked at KV-head or query-head resolution; the
+        # stats object's head-axis width decides (the finer resolution is
+        # used by the threshold-granularity ablation).
+        return (self.stats is not None
+                and self.stats.n_kv_heads == n_q_heads
+                and n_q_heads != n_kv_heads)
+
+    # -- fast path ------------------------------------------------------------
+
+    def _forward_fast(self, layer: int, q: np.ndarray, k: np.ndarray,
+                      v: np.ndarray,
+                      key_signs: Optional[np.ndarray]) -> np.ndarray:
+        """Head-batched hybrid attention.
+
+        ``key_signs`` is an optional ``(n_kv_heads, n_ctx, n_bytes)`` packed
+        sign store (already rotated when ITQ is on); when absent, signs are
+        extracted here once per KV head — still shared by the whole GQA
+        group, never recomputed per query head.  Query blocks larger than
+        ``_PACKED_CONC_MAX_NEW`` (prefill) divert to
+        :meth:`_forward_fast_large`.
+
+        Batching note: every matmul keeps one gemm per (kv_head, q_head)
+        slice with the same row count as the reference loop, so results are
+        bit-identical to it (merging a GQA group into a single gemm would
+        change blocking and drift in the last ulp).
+        """
+        if q.shape[1] > _PACKED_CONC_MAX_NEW:
+            return self._forward_fast_large(layer, q, k, v, key_signs)
+        cfg = self.config
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        q_positions = np.arange(n_ctx - n_new, n_ctx)
+        dense_mask, sparse_mask = _region_masks(
+            q_positions, n_ctx, cfg.n_sink, cfg.window)
+        any_sparse = bool(sparse_mask.any())
+
+        q5 = q.reshape(n_kv_heads, group, n_new, head_dim)
+        kt = np.swapaxes(k, -1, -2)[:, None]          # (Hkv, 1, d, n_ctx)
+        scores = np.matmul(q5, kt) * scale            # (Hkv, G, n_new, n_ctx)
+
+        if any_sparse:
+            if cfg.use_itq:
+                rot = self.rotations.matrices[layer]  # (Hkv, d, d)
+                q_f = np.matmul(q5, rot[:, None])
+            else:
+                q_f = q5
+            q_signs = pack_signs(q_f)                 # (Hkv, G, n_new, nb)
+            if key_signs is None:
+                keys_f = np.matmul(k, rot) if cfg.use_itq else k
+                key_signs = pack_signs(keys_f)        # (Hkv, n_ctx, nb)
+            conc = concordance_packed_many(
+                q_signs, key_signs[:, None], head_dim)
+            thresholds = self._threshold_stack(layer, n_kv_heads, group)
+            pass_mask = sparse_mask & (conc >= thresholds)
+            sparse_scores = np.where(pass_mask, scores, -np.inf)
+            selected = top_k_mask(sparse_scores, cfg.top_k)
+            attend = dense_mask | selected
+            if self.stats is not None:
+                per_q = self._stats_per_q(n_q_heads, n_kv_heads)
+                candidates = int(sparse_mask.sum())
+                passed = pass_mask.sum(axis=(2, 3))
+                retrieved = selected.sum(axis=(2, 3))
+                for kv_head in range(n_kv_heads):
+                    for g in range(group):
+                        h = kv_head * group + g
+                        self.stats.update(
+                            layer, h if per_q else kv_head,
+                            candidates=candidates,
+                            passed=int(passed[kv_head, g]),
+                            retrieved=int(retrieved[kv_head, g]),
+                            queries=n_new,
+                        )
+            if self.selection_capture is not None:
+                for kv_head in range(n_kv_heads):
+                    for g in range(group):
+                        h = kv_head * group + g
+                        self.selection_capture[(layer, h)] = \
+                            selected[kv_head, g].copy()
+        else:
+            attend = np.broadcast_to(dense_mask, scores.shape)
+
+        final = np.where(attend, scores, -np.inf)
+        probs = softmax(final, axis=-1)
+        out = np.matmul(probs, v[:, None])            # (Hkv, G, n_new, d)
+        return out.reshape(n_q_heads, n_new, head_dim)
+
+    def _forward_fast_large(self, layer: int, q: np.ndarray, k: np.ndarray,
+                            v: np.ndarray,
+                            key_signs: Optional[np.ndarray]) -> np.ndarray:
+        """Fast path for prefill-sized query blocks.
+
+        Per-head 2-D pipeline (cache-resident temporaries) with the
+        redundant work of the reference loop hoisted out: key signs are
+        extracted once per KV head — read straight back out of the packed
+        sign store when available — and the candidate count is computed
+        once per block.  Every remaining expression matches the reference
+        loop's operation for operation, so outputs are bit-identical to it.
+        """
         cfg = self.config
         n_q_heads, n_new, head_dim = q.shape
         n_kv_heads, n_ctx, _ = k.shape
@@ -74,13 +255,81 @@ class LongSightAttention:
             q_positions, n_ctx, cfg.n_sink, cfg.window)
         any_sparse = bool(sparse_mask.any())
         neg_inf = -np.inf
+        stats_per_q = self._stats_per_q(n_q_heads, n_kv_heads)
 
-        # Stats may be tracked at KV-head or query-head resolution; the
-        # stats object's head-axis width decides (the finer resolution is
-        # used by the threshold-granularity ablation).
-        stats_per_q = (self.stats is not None
-                       and self.stats.n_kv_heads == n_q_heads
-                       and n_q_heads != n_kv_heads)
+        if any_sparse:
+            candidates = int(sparse_mask.sum())
+            q5 = q.reshape(n_kv_heads, group, n_new, head_dim)
+            if cfg.use_itq:
+                rot = self.rotations.matrices[layer]  # (Hkv, d, d)
+                q_f = np.matmul(q5, rot[:, None])
+            else:
+                q_f = q5
+
+        out = np.empty_like(q)
+        for kv_head in range(n_kv_heads):
+            keys = k[kv_head]
+            values = v[kv_head]
+            if any_sparse:
+                if key_signs is not None:
+                    sk = unpack_signs_pm1(key_signs[kv_head], head_dim)
+                else:
+                    keys_f = (keys @ self.rotations.get(layer, kv_head)
+                              if cfg.use_itq else keys)
+                    sk = sign_pm1(keys_f).astype(np.float32)
+            for g in range(group):
+                h = kv_head * group + g
+                scores = (q[h] @ keys.T) * scale
+                if any_sparse:
+                    threshold = cfg.threshold_for(layer, kv_head, h)
+                    sq = sign_pm1(q_f[kv_head, g]).astype(np.float32)
+                    conc = concordance_from_signs(sq, sk, head_dim)
+                    pass_mask = sparse_mask & (conc >= threshold)
+                    sparse_scores = np.where(pass_mask, scores, neg_inf)
+                    selected = top_k_mask(sparse_scores, cfg.top_k)
+                    attend = dense_mask | selected
+                    if self.stats is not None:
+                        self.stats.update(
+                            layer, h if stats_per_q else kv_head,
+                            candidates=candidates,
+                            passed=int(pass_mask.sum()),
+                            retrieved=int(selected.sum()),
+                            queries=n_new,
+                        )
+                    if self.selection_capture is not None:
+                        self.selection_capture[(layer, h)] = selected.copy()
+                else:
+                    attend = dense_mask
+                scores[~attend] = neg_inf
+                out[h] = softmax(scores, axis=-1) @ values
+        return out
+
+    def _threshold_stack(self, layer: int, n_kv_heads: int,
+                         group: int) -> np.ndarray:
+        """Per-head thresholds broadcastable over ``(Hkv, G, n_q, n_ctx)``."""
+        cfg = self.config
+        th = np.empty((n_kv_heads, group, 1, 1))
+        for kv_head in range(n_kv_heads):
+            for g in range(group):
+                th[kv_head, g] = cfg.threshold_for(
+                    layer, kv_head, kv_head * group + g)
+        return th
+
+    # -- reference path -------------------------------------------------------
+
+    def _forward_reference(self, layer: int, q: np.ndarray, k: np.ndarray,
+                           v: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        q_positions = np.arange(n_ctx - n_new, n_ctx)
+        dense_mask, sparse_mask = _region_masks(
+            q_positions, n_ctx, cfg.n_sink, cfg.window)
+        any_sparse = bool(sparse_mask.any())
+        neg_inf = -np.inf
+        stats_per_q = self._stats_per_q(n_q_heads, n_kv_heads)
 
         out = np.empty_like(q)
         for kv_head in range(n_kv_heads):
@@ -110,6 +359,8 @@ class LongSightAttention:
                             retrieved=int(selected.sum()),
                             queries=n_new,
                         )
+                    if self.selection_capture is not None:
+                        self.selection_capture[(layer, h)] = selected.copy()
                 else:
                     attend = dense_mask
                 scores[~attend] = neg_inf
@@ -118,7 +369,11 @@ class LongSightAttention:
 
 
 class SlidingWindowAttention:
-    """Dense sinks + sliding window only (StreamingLLM-style baseline)."""
+    """Dense sinks + sliding window only (StreamingLLM-style baseline).
+
+    Only the sink and window columns are gathered and scored, so the cost
+    per query is O(n_sink + window + n_new), independent of context length.
+    """
 
     def __init__(self, window: int = 1024, n_sink: int = 16) -> None:
         if window < 1:
@@ -133,11 +388,18 @@ class SlidingWindowAttention:
         group = n_q_heads // n_kv_heads
         scale = 1.0 / np.sqrt(head_dim)
         q_positions = np.arange(n_ctx - n_new, n_ctx)
-        dense_mask, _ = _region_masks(q_positions, n_ctx, self.n_sink, self.window)
-        out = np.empty_like(q)
-        for h in range(n_q_heads):
-            kv_head = h // group
-            scores = (q[h] @ k[kv_head].T) * scale
-            final = np.where(dense_mask, scores, -np.inf)
-            out[h] = softmax(final, axis=-1) @ v[kv_head]
-        return out
+        # Union of dense columns across the query block: sinks plus the
+        # window of the *oldest* query in the block.
+        sink_end = min(self.n_sink, n_ctx)
+        start = max(sink_end, n_ctx - n_new - self.window + 1)
+        cols = np.concatenate([np.arange(sink_end), np.arange(start, n_ctx)])
+        dense_mask, _ = _region_masks(q_positions, n_ctx, self.n_sink,
+                                      self.window, key_positions=cols)
+        kg = k[:, cols]                                # (Hkv, n_cols, d)
+        vg = v[:, cols]
+        q5 = q.reshape(n_kv_heads, group, n_new, head_dim)
+        scores = np.matmul(q5, np.swapaxes(kg, -1, -2)[:, None]) * scale
+        final = np.where(dense_mask, scores, -np.inf)
+        probs = softmax(final, axis=-1)
+        out = np.matmul(probs, vg[:, None])
+        return out.reshape(n_q_heads, n_new, head_dim)

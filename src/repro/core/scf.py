@@ -47,10 +47,20 @@ def concordance(q: np.ndarray, k: np.ndarray) -> np.ndarray:
     d = q.shape[-1]
     if k.shape[-1] != d:
         raise ValueError("query/key dimension mismatch")
-    # float32 is exact here: the matmul accumulates d terms of +/-1, and
-    # integers up to 2^24 are exactly representable.
     sq = sign_pm1(q).astype(np.float32)
     sk = sign_pm1(k).astype(np.float32)
+    return concordance_from_signs(sq, sk, d)
+
+
+def concordance_from_signs(sq: np.ndarray, sk: np.ndarray,
+                           d: int) -> np.ndarray:
+    """:func:`concordance` for signs already extracted as +/-1 float32.
+
+    Lets callers share one key-sign extraction across a GQA group (or feed
+    an unpacked sign store) instead of re-deriving it per query head.
+    """
+    # float32 is exact here: the matmul accumulates d terms of +/-1, and
+    # integers up to 2^24 are exactly representable.
     dots = np.matmul(sq, np.swapaxes(sk, -1, -2))
     return np.rint((d + dots) / 2.0).astype(np.int64)
 
@@ -77,10 +87,29 @@ def pack_signs(x: np.ndarray) -> np.ndarray:
     return np.packbits(bits, axis=-1)
 
 
+def unpack_signs_pm1(packed: np.ndarray, d: int) -> np.ndarray:
+    """Inverse of :func:`pack_signs` as +/-1 float32 vectors.
+
+    Lets a packed sign store feed the BLAS float path of
+    :func:`concordance` (whose sign extraction is idempotent on +/-1
+    input), which beats XOR+popcount for large query blocks.
+    """
+    bits = np.unpackbits(packed, axis=-1, count=d)
+    return bits.astype(np.float32) * 2.0 - 1.0
+
+
+#: Byte -> number-of-set-bits lookup, fallback for numpy < 2.0.
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)],
+                           dtype=np.uint8)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
 def _popcount(x: np.ndarray) -> np.ndarray:
     """Per-element popcount of a uint8 array."""
-    table = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
-    return table[x]
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(x)
+    return _POPCOUNT_TABLE[x]
 
 
 def concordance_packed(q_packed: np.ndarray, k_packed: np.ndarray,
@@ -97,8 +126,37 @@ def concordance_packed(q_packed: np.ndarray, k_packed: np.ndarray,
     Returns:
         ``(n_q, n_k)`` integer counts, identical to :func:`concordance`.
     """
-    xor = np.bitwise_xor(q_packed[:, None, :], k_packed[None, :, :])
-    mismatches = _popcount(xor).sum(axis=-1, dtype=np.int64)
+    return concordance_packed_many(q_packed, k_packed, d)
+
+
+def concordance_packed_many(q_packed: np.ndarray, k_packed: np.ndarray,
+                            d: int) -> np.ndarray:
+    """Batched :func:`concordance_packed` over arbitrary leading axes.
+
+    Args:
+        q_packed: ``(..., n_q, n_bytes)`` packed query signs.
+        k_packed: ``(..., n_k, n_bytes)`` packed key signs; leading axes
+            broadcast against ``q_packed``'s (e.g. one key store shared by a
+            whole GQA group).
+        d: true vector dimension (pad bits must be zero, see
+            :func:`concordance_packed`).
+
+    Returns:
+        ``(..., n_q, n_k)`` integer counts, identical per slice to
+        :func:`concordance_packed`.  This is the hot kernel of the decode
+        fast path: it consumes the KV cache's incremental sign store
+        directly, so no per-query sign extraction of the key history is
+        needed.
+    """
+    xor = np.bitwise_xor(q_packed[..., :, None, :], k_packed[..., None, :, :])
+    if _HAS_BITWISE_COUNT and xor.shape[-1] % 8 == 0:
+        # Count 64 bits per popcount instruction instead of 8: the xor
+        # result is freshly materialized (hence contiguous), so whole bytes
+        # reinterpret losslessly as uint64 words.
+        words = xor.view(np.uint64)
+        mismatches = np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    else:
+        mismatches = _popcount(xor).sum(axis=-1, dtype=np.int64)
     return d - mismatches
 
 

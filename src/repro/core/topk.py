@@ -35,17 +35,19 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
 
 
 def top_k_mask(scores: np.ndarray, k: int) -> np.ndarray:
-    """Row-wise top-k as a boolean mask for a 2-D score matrix.
+    """Row-wise top-k as a boolean mask over the last axis.
 
-    ``scores`` is ``(n_q, n_candidates)`` with ``-inf`` marking
+    ``scores`` is ``(..., n_candidates)`` with ``-inf`` marking
     non-candidates; the result marks at most ``k`` True entries per row.
-    Vectorized with ``argpartition``, so it is the fast path for blockwise
-    perplexity evaluation.  Ties at the k-th boundary are broken by lower
-    index, matching :func:`top_k_indices`.
+    Any number of leading axes is supported, so whole ``(n_heads, n_q,
+    n_ctx)`` stacks select in one call — the hybrid fast path and blockwise
+    perplexity evaluation both rely on this.  Ties at the k-th boundary are
+    broken by lower index, matching :func:`top_k_indices`, and each row's
+    result is identical to the 2-D form regardless of batching.
     """
     scores = np.asarray(scores)
-    n_q, n_c = scores.shape
-    mask = np.zeros_like(scores, dtype=bool)
+    n_c = scores.shape[-1]
+    mask = np.zeros(scores.shape, dtype=bool)
     if k <= 0 or n_c == 0:
         return mask
     finite = np.isfinite(scores)
@@ -53,7 +55,7 @@ def top_k_mask(scores: np.ndarray, k: int) -> np.ndarray:
         return finite
     # Exact O(n) selection: take everything strictly above the k-th value,
     # then fill remaining slots with boundary-tied entries in index order.
-    kth = -np.partition(-scores, k - 1, axis=-1)[:, k - 1 : k]
+    kth = -np.partition(-scores, k - 1, axis=-1)[..., k - 1 : k]
     above = scores > kth
     tied = scores == kth
     slots = k - above.sum(axis=-1, keepdims=True)

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 
 @dataclasses.dataclass(frozen=True)
 class ModelConfig:
@@ -36,6 +38,11 @@ class ModelConfig:
     rope_theta: float = 10000.0
     norm_eps: float = 1e-5
     dtype_bytes: int = 2  # BF16 storage, as in the paper's Table 1.
+    #: Numpy dtype used by the *executed* KV cache (:mod:`repro.llm.kv_cache`).
+    #: float32 halves cache memory traffic versus the float64 default numpy
+    #: arithmetic would give; ``dtype_bytes`` above stays the *analytical*
+    #: model's storage width (BF16) and is unaffected.
+    kv_dtype: str = "float32"
     tie_embeddings: bool = True
     #: Add bias terms to the Q/K projections.  The simulation-scale models
     #: enable this to induce the *clustered key distribution* the paper
@@ -54,6 +61,8 @@ class ModelConfig:
             )
         if self.head_dim % 2 != 0:
             raise ValueError("head_dim must be even for RoPE")
+        if np.dtype(self.kv_dtype).kind != "f":
+            raise ValueError("kv_dtype must be a floating-point dtype")
 
     @property
     def d_model(self) -> int:

@@ -1,33 +1,60 @@
-"""Per-layer, per-KV-head key/value cache.
+"""Per-layer, per-KV-head key/value cache with an incremental sign cache.
 
 The cache is the object LongSight splits in two: the most recent ``W``
 entries stay "on the GPU" (dense window) while the remainder is offloaded to
 DReX.  :meth:`KVCache.window_view` and :meth:`KVCache.offloaded_view` expose
 exactly that split.
+
+The *sign cache* is the software analogue of DReX's Key Sign Objects
+(Section 5.1): one bit per key dimension, extracted (after the optional ITQ
+rotation) exactly once when the key is appended and bit-packed into uint8
+words.  Query-time filtering then reduces to XOR + popcount against this
+store — no per-query re-quantization of the key history.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
 
 from repro.llm.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.core.itq import ItqRotations
 
 
 class LayerKV:
     """Growable K/V store for one decoder layer.
 
     Keys and values are stored as ``(n_kv_heads, n_tokens, head_dim)``
-    arrays.  Appending amortizes reallocation by doubling capacity.
+    arrays.  Appending amortizes reallocation by doubling capacity;
+    :meth:`reserve` pre-allocates for a known prompt length so prefill never
+    copies.  When the sign cache is enabled, appending also packs the new
+    keys' (rotated) sign bits — incrementally, exactly once per token.
     """
 
     def __init__(self, n_kv_heads: int, head_dim: int,
-                 initial_capacity: int = 64) -> None:
+                 initial_capacity: int = 64,
+                 dtype: np.dtype = np.float32) -> None:
         self.n_kv_heads = n_kv_heads
         self.head_dim = head_dim
+        self.dtype = np.dtype(dtype)
         self._capacity = max(1, initial_capacity)
         self._len = 0
-        self._k = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=np.float64)
-        self._v = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=np.float64)
+        self._k = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=self.dtype)
+        self._v = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=self.dtype)
+        #: number of capacity-growing reallocations performed so far
+        self.n_grows = 0
+        # sign cache state (disabled until enable_sign_cache is called)
+        self._sign_rot: Optional[np.ndarray] = None
+        self._signs: Optional[np.ndarray] = None
+        self._sign_nbytes = (head_dim + 7) // 8
+        #: cumulative count of tokens whose signs have been packed; an
+        #: incremental cache packs each token exactly once, so after any
+        #: sequence of appends this equals the number of tokens seen since
+        #: the cache was enabled (plus the backlog packed at enable time).
+        self.signs_packed_total = 0
 
     def __len__(self) -> int:
         return self._len
@@ -36,11 +63,22 @@ class LayerKV:
         new_cap = self._capacity
         while new_cap < needed:
             new_cap *= 2
-        k = np.zeros((self.n_kv_heads, new_cap, self.head_dim), dtype=np.float64)
+        k = np.zeros((self.n_kv_heads, new_cap, self.head_dim), dtype=self.dtype)
         v = np.zeros_like(k)
         k[:, : self._len] = self._k[:, : self._len]
         v[:, : self._len] = self._v[:, : self._len]
         self._k, self._v, self._capacity = k, v, new_cap
+        if self._signs is not None:
+            signs = np.zeros((self.n_kv_heads, new_cap, self._sign_nbytes),
+                             dtype=np.uint8)
+            signs[:, : self._len] = self._signs[:, : self._len]
+            self._signs = signs
+        self.n_grows += 1
+
+    def reserve(self, capacity: int) -> None:
+        """Pre-allocate for ``capacity`` tokens (one realloc at most)."""
+        if capacity > self._capacity:
+            self._grow(capacity)
 
     def append(self, k: np.ndarray, v: np.ndarray) -> None:
         """Append keys/values for one or more tokens.
@@ -59,7 +97,56 @@ class LayerKV:
             self._grow(self._len + n_new)
         self._k[:, self._len : self._len + n_new] = k
         self._v[:, self._len : self._len + n_new] = v
+        if self._signs is not None and n_new > 0:
+            self._pack_range(self._len, self._len + n_new)
         self._len += n_new
+
+    # -- sign cache -----------------------------------------------------------
+
+    @property
+    def sign_cache_enabled(self) -> bool:
+        return self._signs is not None
+
+    def enable_sign_cache(self, rotations: Optional[np.ndarray] = None) -> None:
+        """Start maintaining packed (rotated) key signs on every append.
+
+        Args:
+            rotations: optional ``(n_kv_heads, head_dim, head_dim)`` ITQ
+                rotation stack applied before sign extraction (``None`` for
+                raw signs).  Keys already in the cache are packed once as a
+                backlog; subsequent appends pack only the new tokens.
+        """
+        if rotations is not None and rotations.shape != (
+                self.n_kv_heads, self.head_dim, self.head_dim):
+            raise ValueError("rotation stack shape mismatch")
+        self._sign_rot = rotations
+        self._signs = np.zeros(
+            (self.n_kv_heads, self._capacity, self._sign_nbytes), dtype=np.uint8)
+        if self._len:
+            self._pack_range(0, self._len)
+
+    def _pack_range(self, start: int, stop: int) -> None:
+        """Pack signs for stored keys in ``[start, stop)`` (exactly once)."""
+        # Deferred import: repro.core.itq imports this module transitively.
+        from repro.core.scf import pack_signs
+
+        keys = self._k[:, start:stop]
+        if self._sign_rot is not None:
+            keys = np.matmul(keys, self._sign_rot)
+        self._signs[:, start:stop] = pack_signs(keys)
+        self.signs_packed_total += stop - start
+
+    @property
+    def packed_signs(self) -> np.ndarray:
+        """``(n_kv_heads, n_tokens, n_sign_bytes)`` packed rotated key signs.
+
+        Raises if the sign cache has not been enabled.
+        """
+        if self._signs is None:
+            raise RuntimeError("sign cache not enabled; call enable_sign_cache")
+        return self._signs[:, : self._len]
+
+    # -- views ----------------------------------------------------------------
 
     @property
     def keys(self) -> np.ndarray:
@@ -73,14 +160,24 @@ class LayerKV:
 
 
 class KVCache:
-    """KV cache spanning all decoder layers for one user/sequence."""
+    """KV cache spanning all decoder layers for one user/sequence.
+
+    Storage dtype comes from ``config.kv_dtype`` (default float32 — halves
+    memory traffic versus the float64 the simulator used historically).
+    """
 
     def __init__(self, config: ModelConfig) -> None:
         self.config = config
+        dtype = np.dtype(config.kv_dtype)
         self.layers = [
-            LayerKV(config.n_kv_heads, config.head_dim)
+            LayerKV(config.n_kv_heads, config.head_dim, dtype=dtype)
             for _ in range(config.n_layers)
         ]
+        #: the ItqRotations bank the sign cache was enabled with (None when
+        #: disabled or when raw signs are cached); identity lets backends
+        #: check compatibility before consuming packed signs.
+        self.sign_rotations: Optional["ItqRotations"] = None
+        self._sign_cache_enabled = False
 
     def __len__(self) -> int:
         """Number of cached tokens (identical across layers)."""
@@ -88,6 +185,31 @@ class KVCache:
 
     def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
         self.layers[layer].append(k, v)
+
+    def reserve(self, capacity: int) -> None:
+        """Pre-allocate every layer for ``capacity`` tokens."""
+        for layer in self.layers:
+            layer.reserve(capacity)
+
+    @property
+    def sign_cache_enabled(self) -> bool:
+        return self._sign_cache_enabled
+
+    def enable_sign_cache(
+            self, rotations: Optional["ItqRotations"] = None) -> None:
+        """Enable the per-layer sign cache (idempotent for the same bank).
+
+        Args:
+            rotations: optional :class:`~repro.core.itq.ItqRotations` whose
+                per-(layer, KV head) matrices are applied before packing.
+        """
+        if self._sign_cache_enabled and self.sign_rotations is rotations:
+            return
+        for i, layer in enumerate(self.layers):
+            layer.enable_sign_cache(
+                rotations.matrices[i] if rotations is not None else None)
+        self.sign_rotations = rotations
+        self._sign_cache_enabled = True
 
     def window_view(self, layer: int, window: int,
                     n_sink: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -145,8 +145,15 @@ class Transformer:
         h = ops.rms_norm(x, w[f"attn_norm.{layer}"], c.norm_eps)
         q, k, v = self._qkv(layer, h, positions)
         cache.append(layer, k, v)
-        attn = backend.forward(layer, q, cache.layers[layer].keys,
-                               cache.layers[layer].values)
+        # Cache-aware backends (duck-typed) get the cache itself, so they
+        # can consume incrementally maintained metadata such as the packed
+        # sign store instead of recomputing it from the raw keys.
+        fwd_cached = getattr(backend, "forward_cached", None)
+        if fwd_cached is not None:
+            attn = fwd_cached(layer, q, cache)
+        else:
+            attn = backend.forward(layer, q, cache.layers[layer].keys,
+                                   cache.layers[layer].values)
         n = x.shape[0]
         attn = attn.transpose(1, 0, 2).reshape(n, c.n_q_heads * c.head_dim)
         x = x + attn @ w[f"wo.{layer}"]
@@ -154,6 +161,13 @@ class Transformer:
         x = x + ops.swiglu(h, w[f"w_gate.{layer}"], w[f"w_up.{layer}"],
                            w[f"w_down.{layer}"])
         return x
+
+    @staticmethod
+    def _prepare_cache(cache: KVCache, backend: AttentionBackend) -> None:
+        """Let the backend set up per-cache state (e.g. the sign cache)."""
+        prepare = getattr(backend, "prepare_cache", None)
+        if prepare is not None:
+            prepare(cache)
 
     def _unembed(self, x: np.ndarray) -> np.ndarray:
         c, w = self.config, self.weights
@@ -179,6 +193,8 @@ class Transformer:
         tokens = np.asarray(tokens)
         n = len(tokens)
         cache = KVCache(self.config)
+        cache.reserve(n)
+        self._prepare_cache(cache, backend)
         logits = np.empty((n, self.config.vocab_size))
         for start in range(0, n, block_size):
             stop = min(start + block_size, n)
@@ -196,6 +212,10 @@ class Transformer:
         backend = backend or DenseBackend()
         tokens = np.asarray(tokens)
         start0 = len(cache)
+        # One up-front allocation for the whole prompt instead of repeated
+        # doubling-and-copying during blockwise prefill.
+        cache.reserve(start0 + len(tokens))
+        self._prepare_cache(cache, backend)
         last = None
         for start in range(0, len(tokens), block_size):
             stop = min(start + block_size, len(tokens))
@@ -210,6 +230,7 @@ class Transformer:
                     backend: Optional[AttentionBackend] = None) -> np.ndarray:
         """One autoregressive step; returns next-token logits ``(vocab,)``."""
         backend = backend or DenseBackend()
+        self._prepare_cache(cache, backend)
         x = self.weights["embed"][np.asarray([token])]
         positions = np.arange(len(cache), len(cache) + 1)
         for layer in range(self.config.n_layers):

@@ -1,0 +1,73 @@
+"""Smoke test for the attention microbenchmark (`python -m repro.bench.micro`).
+
+Runs the real benchmark at a tiny configuration and validates the
+``BENCH_attention.json`` schema: required keys, units, per-backend series
+lengths, and a strictly increasing context axis.
+"""
+
+import json
+
+import numpy as np
+
+from repro.bench.micro import (BACKENDS, RESULT_NAME, SCHEMA_VERSION, main,
+                               run_micro, validate_payload)
+
+
+def _tiny_run(tmp_path, contexts=(64, 128)):
+    return run_micro(contexts=contexts, repeats=1, window=16, n_sink=4,
+                     top_k=8, n_q_heads=4, n_kv_heads=2, head_dim=16,
+                     block_size=32, out_dir=tmp_path)
+
+
+def test_writes_valid_payload(tmp_path):
+    table = _tiny_run(tmp_path)
+    payload = json.loads((tmp_path / RESULT_NAME).read_text())
+    assert validate_payload(payload) == []
+    assert payload["benchmark"] == "attention_micro"
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["contexts"] == [64, 128]
+    assert "context" in table.render()
+
+
+def test_units_and_series_shapes(tmp_path):
+    _tiny_run(tmp_path)
+    payload = json.loads((tmp_path / RESULT_NAME).read_text())
+    assert set(payload["units"]) >= {"context", "decode_s", "prefill_s",
+                                     "speedup"}
+    for name in BACKENDS:
+        for phase in ("decode_s", "prefill_s"):
+            values = payload["backends"][name][phase]
+            assert len(values) == len(payload["contexts"])
+            assert all(t > 0 for t in values)
+    for key in ("decode_fast_vs_reference", "prefill_fast_vs_reference"):
+        assert len(payload["speedup"][key]) == len(payload["contexts"])
+
+
+def test_contexts_deduplicated_and_sorted(tmp_path):
+    _tiny_run(tmp_path, contexts=(128, 64, 128))
+    payload = json.loads((tmp_path / RESULT_NAME).read_text())
+    assert payload["contexts"] == [64, 128]
+    contexts = np.asarray(payload["contexts"])
+    assert (np.diff(contexts) > 0).all()
+
+
+def test_validate_payload_flags_problems(tmp_path):
+    _tiny_run(tmp_path)
+    payload = json.loads((tmp_path / RESULT_NAME).read_text())
+    del payload["backends"]["hybrid_fast"]
+    payload["contexts"] = payload["contexts"][::-1]
+    problems = validate_payload(payload)
+    assert any("hybrid_fast" in p for p in problems)
+    assert any("increasing" in p for p in problems)
+    assert validate_payload({}) != []
+
+
+def test_cli_main(tmp_path, capsys):
+    rc = main(["--contexts", "64", "--repeats", "1", "--window", "16",
+               "--n-sink", "4", "--top-k", "8", "--n-q-heads", "4",
+               "--n-kv-heads", "2", "--head-dim", "16", "--block-size", "32",
+               "--out-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "attention microbenchmark" in out
+    assert (tmp_path / RESULT_NAME).exists()

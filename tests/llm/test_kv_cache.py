@@ -10,7 +10,9 @@ from tests.conftest import TINY
 
 
 def _kv(rng, n, heads=2, dim=8):
-    return rng.normal(size=(heads, n, dim)), rng.normal(size=(heads, n, dim))
+    # float32 matches LayerKV's default storage dtype, so read-back is exact.
+    return (rng.normal(size=(heads, n, dim)).astype(np.float32),
+            rng.normal(size=(heads, n, dim)).astype(np.float32))
 
 
 class TestLayerKV:
@@ -51,6 +53,121 @@ class TestLayerKV:
             k, v = _kv(rng, n, heads=1, dim=4)
             layer.append(k, v)
         assert len(layer) == sum(sizes)
+
+
+class TestDtypeAndReserve:
+    def test_default_dtype_is_float32(self, rng):
+        layer = LayerKV(2, 8)
+        k, v = _kv(rng, 3)
+        layer.append(k, v)
+        assert layer.keys.dtype == np.float32
+        assert layer.values.dtype == np.float32
+
+    def test_dtype_configurable(self, rng):
+        layer = LayerKV(2, 8, dtype=np.float64)
+        k = rng.normal(size=(2, 3, 8))
+        layer.append(k, k)
+        assert layer.keys.dtype == np.float64
+        np.testing.assert_array_equal(layer.keys, k)
+
+    def test_kv_dtype_threads_through_model_config(self):
+        import dataclasses
+
+        assert KVCache(TINY).layers[0].keys.dtype == np.float32
+        tiny64 = dataclasses.replace(TINY, kv_dtype="float64")
+        assert KVCache(tiny64).layers[0].keys.dtype == np.float64
+
+    def test_reserve_prevents_repeated_growth(self, rng):
+        layer = LayerKV(2, 8, initial_capacity=4)
+        layer.reserve(1000)
+        grows_after_reserve = layer.n_grows
+        assert grows_after_reserve == 1
+        for _ in range(10):
+            k, v = _kv(rng, 100)
+            layer.append(k, v)
+        assert layer.n_grows == grows_after_reserve
+        assert len(layer) == 1000
+
+    def test_reserve_is_noop_when_capacity_suffices(self):
+        layer = LayerKV(2, 8, initial_capacity=64)
+        layer.reserve(10)
+        assert layer.n_grows == 0
+
+
+class TestSignCache:
+    def test_disabled_by_default(self, rng):
+        layer = LayerKV(2, 8)
+        with pytest.raises(RuntimeError):
+            _ = layer.packed_signs
+
+    def test_incremental_packing_counts_each_token_once(self, rng):
+        """Appending N tokens packs signs for exactly those N tokens."""
+        layer = LayerKV(2, 8, initial_capacity=2)
+        layer.enable_sign_cache()
+        for n in (5, 1, 7, 3):
+            k, v = _kv(rng, n)
+            layer.append(k, v)
+        assert layer.signs_packed_total == 16
+        assert len(layer) == 16
+
+    def test_enable_after_appends_packs_backlog_once(self, rng):
+        layer = LayerKV(2, 8)
+        k, v = _kv(rng, 9)
+        layer.append(k, v)
+        layer.enable_sign_cache()
+        assert layer.signs_packed_total == 9
+        k2, v2 = _kv(rng, 4)
+        layer.append(k2, v2)
+        assert layer.signs_packed_total == 13
+
+    def test_packed_signs_match_batch_packing(self, rng):
+        from repro.core.scf import pack_signs
+
+        layer = LayerKV(2, 8, initial_capacity=2)
+        layer.enable_sign_cache()
+        for n in (3, 6, 2):
+            k, v = _kv(rng, n)
+            layer.append(k, v)
+        np.testing.assert_array_equal(layer.packed_signs,
+                                      pack_signs(layer.keys))
+
+    def test_packed_signs_with_rotation(self, rng):
+        from repro.core.scf import pack_signs
+
+        rot = np.linalg.qr(rng.normal(size=(2, 8, 8)))[0]
+        layer = LayerKV(2, 8)
+        layer.enable_sign_cache(rotations=rot)
+        k, v = _kv(rng, 12)
+        layer.append(k, v)
+        np.testing.assert_array_equal(
+            layer.packed_signs, pack_signs(np.matmul(layer.keys, rot)))
+
+    def test_rotation_shape_validated(self, rng):
+        layer = LayerKV(2, 8)
+        with pytest.raises(ValueError):
+            layer.enable_sign_cache(rotations=np.eye(8)[None])
+
+    def test_survives_growth(self, rng):
+        from repro.core.scf import pack_signs
+
+        layer = LayerKV(2, 8, initial_capacity=2)
+        layer.enable_sign_cache()
+        for _ in range(5):
+            k, v = _kv(rng, 7)
+            layer.append(k, v)
+        assert layer.n_grows > 0
+        np.testing.assert_array_equal(layer.packed_signs,
+                                      pack_signs(layer.keys))
+
+    def test_kv_cache_enable_is_idempotent(self, rng):
+        cache = KVCache(TINY)
+        k = rng.normal(size=(TINY.n_kv_heads, 6, TINY.head_dim))
+        cache.append(0, k, k)
+        cache.enable_sign_cache()
+        packed_once = cache.layers[0].signs_packed_total
+        cache.enable_sign_cache()
+        assert cache.layers[0].signs_packed_total == packed_once
+        assert cache.sign_cache_enabled
 
 
 class TestWindowSplit:

@@ -1,29 +1,47 @@
-"""The trainable (autograd) and inference models must agree exactly."""
+"""The trainable (autograd) and inference models must agree exactly.
+
+The autograd twin runs entirely in float64, so the exact-equivalence tests
+pin the inference model's KV cache to float64 too (``kv_dtype``); a separate
+test bounds the drift the default float32 cache introduces.
+"""
+
+import dataclasses
 
 import numpy as np
 
 from repro.llm.model import Transformer, TrainableTransformer, init_weights
 from tests.conftest import TINY, TINY_NOBIAS
 
+TINY64 = dataclasses.replace(TINY, kv_dtype="float64")
+TINY64_NOBIAS = dataclasses.replace(TINY_NOBIAS, kv_dtype="float64")
+
 
 def test_forward_equivalence(rng):
-    weights = init_weights(TINY, seed=11)
-    inference = Transformer(TINY, weights)
-    trainable = TrainableTransformer(TINY, weights)
-    tokens = rng.integers(0, TINY.vocab_size, size=35)
+    weights = init_weights(TINY64, seed=11)
+    inference = Transformer(TINY64, weights)
+    trainable = TrainableTransformer(TINY64, weights)
+    tokens = rng.integers(0, TINY64.vocab_size, size=35)
     a = inference.forward_full(tokens, block_size=13)
     b = trainable.forward(tokens[None, :]).data[0]
     np.testing.assert_allclose(a, b, atol=1e-10)
 
 
 def test_forward_equivalence_no_bias(rng):
-    weights = init_weights(TINY_NOBIAS, seed=11)
-    inference = Transformer(TINY_NOBIAS, weights)
-    trainable = TrainableTransformer(TINY_NOBIAS, weights)
-    tokens = rng.integers(0, TINY_NOBIAS.vocab_size, size=24)
+    weights = init_weights(TINY64_NOBIAS, seed=11)
+    inference = Transformer(TINY64_NOBIAS, weights)
+    trainable = TrainableTransformer(TINY64_NOBIAS, weights)
+    tokens = rng.integers(0, TINY64_NOBIAS.vocab_size, size=24)
     np.testing.assert_allclose(
         inference.forward_full(tokens),
         trainable.forward(tokens[None, :]).data[0], atol=1e-10)
+
+
+def test_float32_cache_stays_close_to_float64(rng):
+    weights = init_weights(TINY, seed=11)
+    tokens = rng.integers(0, TINY.vocab_size, size=35)
+    f32 = Transformer(TINY, weights).forward_full(tokens)
+    f64 = Transformer(TINY64, weights).forward_full(tokens)
+    np.testing.assert_allclose(f32, f64, atol=1e-3)
 
 
 def test_batched_forward_matches_per_sequence(rng):
@@ -37,10 +55,10 @@ def test_batched_forward_matches_per_sequence(rng):
 
 
 def test_export_weights_round_trip(rng):
-    trainable = TrainableTransformer(TINY, seed=4)
+    trainable = TrainableTransformer(TINY64, seed=4)
     exported = trainable.export_weights()
-    inference = Transformer(TINY, exported)
-    tokens = rng.integers(0, TINY.vocab_size, size=18)
+    inference = Transformer(TINY64, exported)
+    tokens = rng.integers(0, TINY64.vocab_size, size=18)
     np.testing.assert_allclose(
         inference.forward_full(tokens),
         trainable.forward(tokens[None, :]).data[0], atol=1e-10)
