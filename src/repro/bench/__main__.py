@@ -18,6 +18,7 @@ from repro.bench.tables import Table, results_dir
 
 
 def _runners() -> Dict[str, Callable[[], Table]]:
+    from repro.bench.chaos import run_chaos
     from repro.bench.dynax import run_dynax
     from repro.bench.micro import run_micro
     from repro.bench.fig3 import run_fig3
@@ -42,6 +43,7 @@ def _runners() -> Dict[str, Callable[[], Table]]:
         "dynax": run_dynax,
         "power": run_power_area,
         "micro": run_micro,
+        "chaos": run_chaos,
     }
 
 

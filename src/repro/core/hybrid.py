@@ -108,6 +108,7 @@ class LongSightAttention:
         self.stats = stats
         self.use_fast_path = use_fast_path
         self.selection_capture: Optional[Dict[Tuple[int, int], np.ndarray]] = None
+        self._dense_fallback: Optional["SlidingWindowAttention"] = None
 
     # -- cache integration ----------------------------------------------------
 
@@ -141,6 +142,27 @@ class LongSightAttention:
         if self.use_fast_path:
             return self._forward_fast(layer, q, k, v, None)
         return self._forward_reference(layer, q, k, v)
+
+    # -- degradation target ---------------------------------------------------
+
+    def dense_fallback(self) -> "SlidingWindowAttention":
+        """The correctness anchor when the sparse path is unavailable.
+
+        Sinks + sliding window with this config's geometry — exactly what
+        the hybrid algorithm computes when the offload contributes nothing.
+        The offload supervisor degrades to this per token when a DReX
+        device fails past its retry budget; it is also the exact software
+        semantics of a supervised backend at 100% offload failure.
+        """
+        if self._dense_fallback is None:
+            self._dense_fallback = SlidingWindowAttention(
+                window=self.config.window, n_sink=self.config.n_sink)
+        return self._dense_fallback
+
+    def forward_dense_only(self, layer: int, q: np.ndarray, k: np.ndarray,
+                           v: np.ndarray) -> np.ndarray:
+        """Hybrid attention with the sparse component dropped (degraded)."""
+        return self.dense_fallback().forward(layer, q, k, v)
 
     # -- shared helpers -------------------------------------------------------
 

@@ -31,10 +31,9 @@ from repro.drex.layout import (
     UserPartition,
     rows_per_group,
 )
+from repro.errors import CapacityError
 
-
-class CapacityError(RuntimeError):
-    """Raised when DReX cannot hold the requested allocation."""
+__all__ = ["CapacityError", "DrexAllocator"]
 
 
 class DrexAllocator:

@@ -18,13 +18,14 @@ integration test that pins the device model to the algorithm.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import LongSightConfig
 from repro.core.itq import ItqRotations
-from repro.drex.descriptors import RequestDescriptor
+from repro.core.metrics import FilterStats
+from repro.drex.descriptors import RequestDescriptor, ResponseDescriptor
 from repro.drex.device import DrexDevice
 from repro.drex.timing import LatencyBreakdown
 from repro.llm.config import ModelConfig
@@ -37,7 +38,8 @@ class DrexOffloadBackend:
     def __init__(self, model_config: ModelConfig, config: LongSightConfig,
                  rotations: Optional[ItqRotations] = None,
                  device: Optional[DrexDevice] = None, uid: int = 0,
-                 flush_granularity: int = 128) -> None:
+                 flush_granularity: int = 128,
+                 stats: Optional[FilterStats] = None) -> None:
         if config.use_itq and rotations is None:
             raise ValueError("use_itq requires rotations")
         self.model_config = model_config
@@ -53,14 +55,36 @@ class DrexOffloadBackend:
             rotations=rotations if config.use_itq else None,
             dtype_bytes=model_config.dtype_bytes,
         )
+        if stats is not None:
+            self.device.stats = stats
         self.device.register_user(uid)
         #: tokens already written to DReX, per (layer, kv_head)
         self._flushed: Dict[Tuple[int, int], int] = {}
         #: accumulated offload latency across the run
         self.total_latency = LatencyBreakdown()
         self.n_offloads = 0
+        #: (layer, position) sparse tokens attempted / degraded to dense-only
+        self.sparse_token_attempts = 0
+        self.degraded_tokens = 0
+        self.degraded_log: List[Tuple[int, int]] = []
+        #: when set to a dict, every offloaded token records its selected
+        #: global key positions per query head as ``(layer, pos, head)`` —
+        #: the device-path analogue of
+        #: :attr:`repro.core.hybrid.LongSightAttention.selection_capture`.
+        self.selection_capture: Optional[Dict[Tuple[int, int, int],
+                                              np.ndarray]] = None
 
     # -- staging -----------------------------------------------------------------
+
+    def _flush_gate(self, layer: int, n_new: int) -> bool:
+        """Hook: may ``n_new`` staged tokens be flushed to DReX now?
+
+        The base backend always flushes; a supervised backend may defer
+        (allocator capacity pressure), in which case the tokens simply stay
+        staged in the HBM window — still attended densely, never lost.  The
+        gate is consulted once per flush so all KV heads stay in lockstep.
+        """
+        return True
 
     def _flush(self, layer: int, k: np.ndarray, v: np.ndarray,
                upto: int) -> int:
@@ -74,7 +98,7 @@ class DrexOffloadBackend:
         # Flush whole groups; the remainder stays staged in the HBM window.
         n_new = (target - flushed) // self.flush_granularity \
             * self.flush_granularity
-        if n_new > 0:
+        if n_new > 0 and self._flush_gate(layer, n_new):
             for kv_head in range(self.model_config.n_kv_heads):
                 self.device.write_kv(
                     self.uid, layer, kv_head,
@@ -85,6 +109,18 @@ class DrexOffloadBackend:
             self._flushed[(layer, kv_head)] = flushed
         self._flushed[(layer, 0)] = flushed
         return flushed
+
+    # -- offload dispatch --------------------------------------------------------
+
+    def _offload(self, request: RequestDescriptor
+                 ) -> Optional[ResponseDescriptor]:
+        """Hook: run one offload; ``None`` degrades the token to dense-only.
+
+        The base backend drives the device directly and never degrades; the
+        supervised backend routes through :class:`OffloadSupervisor` which
+        retries and may return ``None`` after exhausting its budget.
+        """
+        return self.device.execute(request)
 
     # -- attention ------------------------------------------------------------------
 
@@ -104,12 +140,26 @@ class DrexOffloadBackend:
             flushed = self._flush(layer, k, v, eligible_upto)
             sparse_available = flushed > cfg.n_sink
             if sparse_available:
+                self.sparse_token_attempts += 1
                 request = RequestDescriptor(
                     uid=self.uid, layer=layer, queries=q[:, t, :],
                     top_k=cfg.top_k, dtype_bytes=mc.dtype_bytes)
-                response = self.device.execute(request)
-                self.total_latency = self.total_latency + response.latency
-                self.n_offloads += 1
+                response = self._offload(request)
+                if response is None:
+                    # Offload failed past the retry budget: this token falls
+                    # back to the dense sliding-window path, recorded here
+                    # (never silently).
+                    sparse_available = False
+                    self.degraded_tokens += 1
+                    self.degraded_log.append((layer, p))
+                else:
+                    self.total_latency = self.total_latency + response.latency
+                    self.n_offloads += 1
+                    if self.selection_capture is not None:
+                        for h in range(n_q_heads):
+                            # Store index i holds global position n_sink + i.
+                            self.selection_capture[(layer, p, h)] = \
+                                cfg.n_sink + response.heads[h].indices
             # Dense region: sinks + everything not yet flushed (window and
             # staging overhang), causally clipped.
             dense_positions = np.concatenate([
@@ -136,6 +186,13 @@ class DrexOffloadBackend:
         return out
 
     # -- bookkeeping -----------------------------------------------------------------
+
+    @property
+    def degraded_token_fraction(self) -> float:
+        """Fraction of sparse-eligible tokens that fell back to dense-only."""
+        if self.sparse_token_attempts == 0:
+            return 0.0
+        return self.degraded_tokens / self.sparse_token_attempts
 
     def mean_offload_latency(self) -> LatencyBreakdown:
         """Average per-offload latency breakdown so far."""

@@ -16,10 +16,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.drex.descriptors import RequestDescriptor, ResponseDescriptor
+from repro.errors import QueueFullError, UnknownUserError
 
-
-class QueueFullError(RuntimeError):
-    """The MMIO request queue has no free slot."""
+__all__ = ["DrexCxlController", "QueueFullError", "UnknownUserError"]
 
 
 class DrexCxlController:
@@ -54,17 +53,27 @@ class DrexCxlController:
             self._buffers.pop(index, None)
             self.polling_register[index] = False
             self._free_buffers.append(index)
+            # Drain any still-queued requests for the departed user: they can
+            # no longer be completed (no response buffer) and would otherwise
+            # occupy FIFO slots forever — or worse, complete into a buffer
+            # later re-bound to a different user.
+            if any(r.uid == uid for r in self._queue):
+                self._queue = deque(r for r in self._queue if r.uid != uid)
 
     def buffer_index(self, uid: int) -> int:
         """CAM lookup (the GPU caches this for the whole generation phase)."""
-        return self._cam[uid]
+        try:
+            return self._cam[uid]
+        except KeyError:
+            raise UnknownUserError(
+                f"UID {uid} is not registered with the DCC (no CAM entry; "
+                f"{len(self._cam)} users bound)") from None
 
     # -- request path ------------------------------------------------------------
 
     def submit(self, request: RequestDescriptor) -> None:
         """Push a Request Descriptor into the MMIO queue (FIFO order)."""
-        if request.uid not in self._cam:
-            raise KeyError(f"UID {request.uid} not registered")
+        self.buffer_index(request.uid)  # raises UnknownUserError if unbound
         if len(self._queue) >= self.QUEUE_DEPTH:
             raise QueueFullError("request queue full (depth 512)")
         self._queue.append(request)
@@ -81,17 +90,17 @@ class DrexCxlController:
 
     def complete(self, response: ResponseDescriptor) -> None:
         """Aggregate NMA results into the user's buffer; raise polling bit."""
-        index = self._cam[response.uid]
+        index = self.buffer_index(response.uid)
         self._buffers[index] = response
         self.polling_register[index] = True
 
     def poll(self, uid: int) -> bool:
         """GPU-side poll: is the user's response ready?"""
-        return bool(self.polling_register[self._cam[uid]])
+        return bool(self.polling_register[self.buffer_index(uid)])
 
     def read_response(self, uid: int) -> ResponseDescriptor:
         """Consume the response (clears the polling bit)."""
-        index = self._cam[uid]
+        index = self.buffer_index(uid)
         response = self._buffers[index]
         if response is None:
             raise RuntimeError(f"no completed response for UID {uid}")

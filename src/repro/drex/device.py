@@ -11,11 +11,13 @@ paper's latency constants.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.itq import ItqRotations
+from repro.core.metrics import FilterStats
 from repro.core.scf import pack_signs, sign_bits
 from repro.drex.allocator import DrexAllocator
 from repro.drex.dcc import DrexCxlController
@@ -27,6 +29,19 @@ from repro.drex.pfu import PimFilterUnit
 from repro.drex.timing import DrexTimingModel, LatencyBreakdown, OffloadCost
 
 
+def _sign_crc(blocks: List[np.ndarray]) -> int:
+    """CRC32 over the packed Key Sign Object bytes, block order preserved.
+
+    Rows pack independently (``packbits`` along the last axis), so the
+    checksum is invariant to how appends were chunked.
+    """
+    crc = 0
+    for block in blocks:
+        crc = zlib.crc32(np.packbits(block.astype(np.uint8), axis=-1)
+                         .tobytes(), crc)
+    return crc
+
+
 @dataclasses.dataclass
 class _HeadStore:
     """Keys/values/sign-codes for one (user, layer, KV head)."""
@@ -34,6 +49,9 @@ class _HeadStore:
     keys: List[np.ndarray] = dataclasses.field(default_factory=list)
     values: List[np.ndarray] = dataclasses.field(default_factory=list)
     signs: List[np.ndarray] = dataclasses.field(default_factory=list)
+    #: running CRC32 of the packed sign bytes as written; recomputing it
+    #: from the live ``signs`` detects KSO bit corruption.
+    sign_crc: int = 0
 
     def stacked(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if not self.keys:
@@ -86,6 +104,9 @@ class DrexDevice:
         self.timing = timing_model or DrexTimingModel(geometry, timings)
         self.dtype_bytes = dtype_bytes
         self._stores: Dict[Tuple[int, int, int], _HeadStore] = {}
+        #: optional :class:`FilterStats` accumulating the same
+        #: candidates/passed/retrieved counters as the software hybrid path.
+        self.stats: Optional[FilterStats] = None
 
     # -- population ------------------------------------------------------------
 
@@ -123,13 +144,71 @@ class DrexDevice:
         else:
             rotated = keys
         store = self._store(uid, layer, kv_head)
+        signs = sign_bits(rotated)
         store.keys.append(keys)
         store.values.append(values)
-        store.signs.append(sign_bits(rotated))
+        store.signs.append(signs)
+        store.sign_crc = zlib.crc32(
+            np.packbits(signs.astype(np.uint8), axis=-1).tobytes(),
+            store.sign_crc)
 
     def context_length(self, uid: int, layer: int, kv_head: int) -> int:
         key = (uid, layer, kv_head)
         return self._stores[key].n_keys if key in self._stores else 0
+
+    # -- KSO integrity ---------------------------------------------------------
+
+    def kso_intact(self, uid: int, layer: int, kv_head: int) -> bool:
+        """Recompute the sign-store checksum and compare with write-time CRC."""
+        store = self._stores.get((uid, layer, kv_head))
+        if store is None:
+            return True
+        return _sign_crc(store.signs) == store.sign_crc
+
+    def corrupted_ksos(self, uid: int, layer: int) -> List[int]:
+        """KV heads of ``(uid, layer)`` whose Key Sign Objects fail checksum."""
+        return [kv_head for kv_head in range(self.n_kv_heads)
+                if not self.kso_intact(uid, layer, kv_head)]
+
+    def repair_kso(self, uid: int, layer: int, kv_head: int) -> None:
+        """Repack sign codes from the stored full-precision keys.
+
+        Key/Value Objects are the source of truth (sign corruption leaves
+        them intact), so a corrupted KSO is repaired by re-quantizing —
+        the same operation the GPU performs when first writing the keys.
+        """
+        store = self._stores.get((uid, layer, kv_head))
+        if store is None:
+            return
+        rot = (self.rotations.get(layer, kv_head)
+               if self.rotations is not None else None)
+        store.signs = [sign_bits(block @ rot if rot is not None else block)
+                       for block in store.keys]
+        store.sign_crc = _sign_crc(store.signs)
+
+    def corrupt_kso(self, uid: int, layer: int, kv_head: int,
+                    rng: np.random.Generator, n_bits: int = 1) -> int:
+        """Flip random stored sign bits (fault-injection hook).
+
+        The write-time CRC is deliberately left untouched, so the
+        corruption is detectable by :meth:`kso_intact`.  Returns the number
+        of bits flipped (0 when the store is empty).
+        """
+        store = self._stores.get((uid, layer, kv_head))
+        if store is None or not store.signs:
+            return 0
+        sizes = [block.size for block in store.signs]
+        total = sum(sizes)
+        # Distinct flat positions: an even number of flips at one position
+        # would cancel out and evade the checksum.
+        chosen = rng.choice(total, size=min(n_bits, total), replace=False)
+        starts = np.cumsum([0] + sizes[:-1])
+        for flat in np.sort(chosen):
+            b = int(np.searchsorted(starts, flat, side="right")) - 1
+            block = store.signs[b]
+            i, j = divmod(int(flat - starts[b]), block.shape[1])
+            block[i, j] ^= True
+        return len(chosen)
 
     # -- offload execution ---------------------------------------------------------
 
@@ -210,6 +289,10 @@ class DrexDevice:
         sub_keys = keys[survivors_union]
         scored = self.nma.score_and_rank(flat_q, sub_keys, top_k,
                                          valid_mask=survive[:, survivors_union])
+        n_tokens = len(flat_q) // self.group
+        stats_per_q = (self.stats is not None
+                       and self.stats.n_kv_heads == self.n_q_heads
+                       and self.n_q_heads != self.n_kv_heads)
         for qi in range(len(flat_q)):
             global_idx = survivors_union[scored.indices[qi]]
             results.append(HeadResult(
@@ -217,6 +300,12 @@ class DrexDevice:
                 scores=scored.scores[qi],
                 values=values[global_idx],
             ))
+            if self.stats is not None:
+                h = kv_head * self.group + qi // n_tokens
+                self.stats.update(
+                    layer, h if stats_per_q else kv_head,
+                    candidates=n, passed=int(survive[qi].sum()),
+                    retrieved=len(global_idx), queries=1)
 
         # Timing inputs: split the slice chain by package.
         chain = self.allocator.partitions[uid].slices[(layer, kv_head)]

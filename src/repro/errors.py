@@ -1,0 +1,44 @@
+"""Shared exception hierarchy for the reproduction.
+
+Every operational failure the stack can raise derives from
+:class:`ReproError`, so callers that supervise the offload path (retry,
+degrade, shed) can catch one family instead of enumerating bare
+``RuntimeError``/``KeyError`` types scattered across modules.
+
+:class:`ReproError` subclasses :class:`RuntimeError` so pre-existing
+``except RuntimeError`` call sites keep working; :class:`UnknownUserError`
+additionally subclasses :class:`KeyError` because it replaces the bare
+``KeyError`` the DCC CAM used to raise for unregistered UIDs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(RuntimeError):
+    """Base class for all operational errors raised by this package."""
+
+
+class QueueFullError(ReproError):
+    """A DCC hardware resource (MMIO request queue, response buffers) has
+    no free slot."""
+
+
+class CapacityError(ReproError):
+    """DReX cannot hold the requested allocation."""
+
+
+class OffloadTimeoutError(ReproError):
+    """An offload did not complete within its deadline (CXL stall, lost
+    response, or a device-side latency beyond the per-request budget)."""
+
+
+class CorruptedKsoError(ReproError):
+    """A Key Sign Object failed checksum verification (bit corruption in
+    the sign store)."""
+
+
+class UnknownUserError(ReproError, KeyError):
+    """A UID was used that is not registered with the DCC CAM."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return RuntimeError.__str__(self)

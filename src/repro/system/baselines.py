@@ -188,6 +188,32 @@ class SlidingWindowGpuSystem:
         kept = min(context, self.window + self.n_sink)
         return self.gpu.max_users(config, kept)
 
+    # -- heterogeneous-context interface (serving simulator) -------------------
+
+    def _kept(self, context: int) -> int:
+        return min(context, self.window + self.n_sink)
+
+    def admits(self, config: ModelConfig, contexts) -> bool:
+        """Do the retained sink+window KV caches fit in HBM?"""
+        free = self.gpu.spec.usable_bytes - self.gpu.weight_bytes(config)
+        if free <= 0:
+            return False
+        need = sum(self._kept(c) for c in contexts) \
+            * config.kv_bytes_per_token()
+        return need <= free
+
+    def step_latency_s(self, config: ModelConfig, contexts) -> float:
+        """One decode step for users with individual context lengths."""
+        if not contexts:
+            return 0.0
+        n_users = len(contexts)
+        gemm = self.gpu.weight_gemm_ns(config, n_users) * config.n_layers
+        attn = sum(self.gpu.dense_attention_ns(config, 1, self._kept(c))
+                   for c in contexts) * config.n_layers
+        head = self.gpu.lm_head_ns(config, n_users)
+        overhead = self.gpu.spec.kernel_overhead_ns * config.n_layers
+        return (gemm + attn + head + overhead) * 1e-9
+
     def evaluate(self, config: ModelConfig, context: int,
                  n_users: int) -> Optional[ServingPoint]:
         kept = min(context, self.window + self.n_sink)

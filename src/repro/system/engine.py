@@ -239,22 +239,39 @@ class LongSightSystem:
 
     def step_latency_s(self, config: ModelConfig, contexts) -> float:
         """One decode step for users with individual context lengths."""
+        return self.step_latency_degraded_s(config, contexts, None)
+
+    def step_latency_degraded_s(self, config: ModelConfig, contexts,
+                                degraded) -> float:
+        """One decode step where some sessions fell back to dense-only.
+
+        ``degraded`` is a parallel sequence of booleans (or ``None`` for all
+        healthy).  A degraded session still pays its dense sink+window
+        attention but contributes nothing to the offload path — no runtime
+        ITQ, no DReX occupancy, no CXL response, no merge.  With all-healthy
+        flags this is exactly :meth:`step_latency_s`.
+        """
         if not contexts:
             return 0.0
         n_users = len(contexts)
+        if degraded is None:
+            sparse_ctx = list(contexts)
+        else:
+            sparse_ctx = [c for c, d in zip(contexts, degraded) if not d]
         gemm = self.gpu.weight_gemm_ns(config, n_users)
-        itq = self.gpu.itq_ns(config, n_users) if self.ls.use_itq else 0.0
+        itq = self.gpu.itq_ns(config, len(sparse_ctx)) \
+            if self.ls.use_itq and sparse_ctx else 0.0
         window_attn = sum(
             self.gpu.dense_attention_ns(config, 1,
                                         self.gpu_resident_tokens(c))
             for c in contexts)
         merge = sum(
             self.gpu.merge_ns(config, 1, self.effective_top_k(c))
-            for c in contexts if self.sparse_tokens(c) > 0)
+            for c in sparse_ctx if self.sparse_tokens(c) > 0)
         drex = 0.0
         cxl = 0.0
         any_sparse = False
-        for c in contexts:
+        for c in sparse_ctx:
             segments, _ = self._segments(c)
             if segments == 0:
                 continue

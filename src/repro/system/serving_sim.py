@@ -38,6 +38,42 @@ class ServingSystem(Protocol):
         ...
 
 
+@dataclasses.dataclass(frozen=True)
+class ServingFaultModel:
+    """Session-level offload-failure dynamics for the simulator.
+
+    Each decode step, every decoding session independently fails its
+    offload with ``offload_failure_rate`` (one seeded draw per session per
+    step, in deterministic batch order).  A failed step still generates a
+    token — via the dense sliding-window fallback — but counts as degraded.
+    After ``failures_to_backoff`` *consecutive* failures the session backs
+    off: it leaves the batch, releases its capacity, and re-enters the
+    admission queue ``backoff_s`` later.  A session that backs off more
+    than ``max_backoffs`` times is *shed from the offload path*: it stays
+    in the batch pinned to the dense sliding-window fallback and still
+    decodes to completion — generation is never dropped, only degraded
+    (and the shedding is reported, never silent).
+    """
+
+    offload_failure_rate: float = 0.0
+    failures_to_backoff: int = 4
+    backoff_s: float = 0.5
+    max_backoffs: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.offload_failure_rate <= 1.0:
+            raise ValueError("offload_failure_rate must be in [0, 1]")
+        if self.failures_to_backoff < 1:
+            raise ValueError("failures_to_backoff must be >= 1")
+        if self.backoff_s < 0.0 or self.max_backoffs < 0:
+            raise ValueError("backoff_s and max_backoffs must be >= 0")
+
+    @property
+    def any_faults(self) -> bool:
+        return self.offload_failure_rate > 0.0
+
+
 @dataclasses.dataclass
 class Session:
     """One user request: a long prompt plus a decode budget."""
@@ -52,6 +88,12 @@ class Session:
     ready_s: Optional[float] = None   # prefill complete, decoding begins
     finished_s: Optional[float] = None
     generated: int = 0
+    # -- fault dynamics --
+    degraded_tokens: int = 0          # generated via the dense fallback
+    consecutive_failures: int = 0
+    offload_backoffs: int = 0
+    reentry_s: Optional[float] = None  # re-admission eligibility after backoff
+    shed: bool = False                 # pinned to dense-only after backoffs
 
     @property
     def context(self) -> int:
@@ -63,6 +105,11 @@ class Session:
         if self.admitted_s is None:
             return None
         return self.admitted_s - self.arrival_s
+
+    @property
+    def eligible_s(self) -> float:
+        """When this session may (re-)enter admission."""
+        return self.arrival_s if self.reentry_s is None else self.reentry_s
 
 
 def poisson_workload(n_sessions: int, arrival_rate_per_s: float,
@@ -92,15 +139,56 @@ class ServingReport:
     sim_time_s: float
     tokens_generated: int
     peak_concurrency: int
+    # -- fault dynamics --
+    total_backoffs: int = 0
+    step_latency_samples: List[float] = dataclasses.field(
+        default_factory=list)
 
     @property
     def completed(self) -> List[Session]:
         return [s for s in self.sessions if s.finished_s is not None]
 
     @property
+    def shed(self) -> List[Session]:
+        return [s for s in self.sessions if s.shed]
+
+    @property
     def throughput_tps(self) -> float:
         return self.tokens_generated / self.sim_time_s if self.sim_time_s \
             else 0.0
+
+    @property
+    def degraded_tokens(self) -> int:
+        return sum(s.degraded_tokens for s in self.sessions)
+
+    @property
+    def degraded_token_fraction(self) -> float:
+        """Fraction of generated tokens that used the dense fallback."""
+        if self.tokens_generated == 0:
+            return 0.0
+        return self.degraded_tokens / self.tokens_generated
+
+    @property
+    def availability(self) -> float:
+        """Fraction of completed sessions that kept sparse service (were
+        never shed from the offload path onto the dense-only fallback)."""
+        done = self.completed
+        if not done:
+            return 1.0
+        return sum(1 for s in done if not s.shed) / len(done)
+
+    def step_latency_percentile_s(self, q: float) -> float:
+        if not self.step_latency_samples:
+            return 0.0
+        return float(np.percentile(self.step_latency_samples, q))
+
+    @property
+    def p50_step_latency_s(self) -> float:
+        return self.step_latency_percentile_s(50.0)
+
+    @property
+    def p99_step_latency_s(self) -> float:
+        return self.step_latency_percentile_s(99.0)
 
     def mean_queueing_delay_s(self) -> float:
         delays = [s.queueing_delay_s for s in self.sessions
@@ -123,14 +211,21 @@ class ServingSimulator:
             only joins the decode batch after its prefill latency (prefill
             throughput is orders of magnitude above decode, Section 8.1.2,
             so it is modeled as overlapping the ongoing decode).
+        faults: optional :class:`ServingFaultModel`; when given with a
+            nonzero failure rate, sessions experience offload failures per
+            the model (degraded tokens, backoff + re-admission, shedding).
+            Sessions decoding a degraded step cost only their dense window
+            when the system exposes ``step_latency_degraded_s``.
     """
 
     def __init__(self, system: ServingSystem, config: ModelConfig,
-                 max_steps: int = 1_000_000, prefill=None) -> None:
+                 max_steps: int = 1_000_000, prefill=None,
+                 faults: Optional[ServingFaultModel] = None) -> None:
         self.system = system
         self.config = config
         self.max_steps = max_steps
         self.prefill = prefill
+        self.faults = faults
 
     def _prefill_s(self, session: Session) -> float:
         if self.prefill is None:
@@ -144,53 +239,111 @@ class ServingSimulator:
         """FIFO admission: admit the head of the queue while it fits."""
         while waiting:
             candidate = waiting[0]
-            if candidate.arrival_s > now:
+            if candidate.eligible_s > now:
                 break
             contexts = [s.context for s in active] + [candidate.context]
             if not self.system.admits(self.config, contexts):
                 break
-            candidate.admitted_s = now
+            if candidate.admitted_s is None:
+                candidate.admitted_s = now
             candidate.ready_s = now + self._prefill_s(candidate)
             active.append(candidate)
             waiting.pop(0)
 
+    @staticmethod
+    def _requeue(waiting: List[Session], session: Session) -> None:
+        """Insert a backed-off session keeping (eligible_s, id) order."""
+        key = (session.eligible_s, session.session_id)
+        index = 0
+        while index < len(waiting) and \
+                (waiting[index].eligible_s,
+                 waiting[index].session_id) <= key:
+            index += 1
+        waiting.insert(index, session)
+
     def run(self, sessions: Sequence[Session]) -> ServingReport:
         """Simulate until every session completes (or max_steps)."""
-        waiting = sorted(sessions, key=lambda s: (s.arrival_s, s.session_id))
+        waiting = sorted(sessions,
+                         key=lambda s: (s.eligible_s, s.session_id))
         # Reject sessions that can never be admitted even alone.
         for session in list(waiting):
             if not self.system.admits(self.config, [session.prompt_tokens
                                                     + session.output_tokens]):
                 waiting.remove(session)
+        faults = self.faults if self.faults is not None \
+            and self.faults.any_faults else None
+        fault_rng = np.random.default_rng(faults.seed) \
+            if faults is not None else None
+        degraded_step = getattr(self.system, "step_latency_degraded_s", None)
         active: List[Session] = []
         now = 0.0
         tokens = 0
         peak = 0
+        total_backoffs = 0
+        samples: List[float] = []
         for _ in range(self.max_steps):
             self._try_admit(waiting, active, now)
             decoding = [s for s in active if s.ready_s <= now]
             if not decoding:
                 pending_times = [s.ready_s for s in active]
                 if waiting:
-                    pending_times.append(max(now, waiting[0].arrival_s))
+                    pending_times.append(max(now, waiting[0].eligible_s))
                 if not pending_times:
                     break
                 now = max(now, min(pending_times))
                 continue
             peak = max(peak, len(decoding))
-            step = self.system.step_latency_s(
-                self.config, [s.context for s in decoding])
+            contexts = [s.context for s in decoding]
+            # One seeded draw per non-shed decoding session, in batch
+            # order, so the whole faulted trajectory is reproducible from
+            # faults.seed.  Shed sessions are already pinned to dense-only.
+            failed = [True if s.shed
+                      else bool(fault_rng.random()
+                                < faults.offload_failure_rate)
+                      for s in decoding] if faults is not None else None
+            if failed is not None and degraded_step is not None \
+                    and any(failed):
+                step = degraded_step(self.config, contexts, failed)
+            else:
+                step = self.system.step_latency_s(self.config, contexts)
             now += step
+            samples.append(step)
             finished = []
-            for session in decoding:
+            backed_off = []
+            for i, session in enumerate(decoding):
                 session.generated += 1
                 tokens += 1
+                if failed is not None:
+                    if failed[i]:
+                        session.degraded_tokens += 1
+                        session.consecutive_failures += 1
+                    else:
+                        session.consecutive_failures = 0
                 if session.generated >= session.output_tokens:
                     session.finished_s = now
                     finished.append(session)
+                elif faults is not None and not session.shed \
+                        and session.consecutive_failures \
+                        >= faults.failures_to_backoff:
+                    backed_off.append(session)
             for session in finished:
                 active.remove(session)
+            for session in backed_off:
+                session.consecutive_failures = 0
+                session.offload_backoffs += 1
+                total_backoffs += 1
+                if session.offload_backoffs > faults.max_backoffs:
+                    # Shed from the offload path: the session stays in the
+                    # batch pinned to the dense fallback and still finishes
+                    # — reported in the outcome, never silently dropped.
+                    session.shed = True
+                else:
+                    active.remove(session)
+                    session.reentry_s = now + faults.backoff_s
+                    self._requeue(waiting, session)
         return ServingReport(system=self.system.name,
                              sessions=list(sessions), sim_time_s=now,
                              tokens_generated=tokens,
-                             peak_concurrency=peak)
+                             peak_concurrency=peak,
+                             total_backoffs=total_backoffs,
+                             step_latency_samples=samples)

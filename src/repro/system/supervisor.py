@@ -1,0 +1,221 @@
+"""Degradation-aware supervision of the DReX offload path.
+
+:class:`OffloadSupervisor` wraps a :class:`DrexDevice` the way a
+production serving engine wraps an accelerator: bounded retries with
+exponential backoff + jitter, a per-request timeout on the simulated
+device latency, KSO checksum verification with repack-from-KV repair, and
+— when the budget is exhausted — a recorded (never silent) degradation
+signal that the caller turns into dense sliding-window-only attention.
+
+:class:`SupervisedOffloadBackend` is the end-to-end integration: a
+:class:`DrexOffloadBackend` whose offload dispatch and staging flush run
+under supervision against a :class:`FaultInjectingDevice`.  With
+``FaultPlan.none()`` it is bit-identical to the unsupervised backend;
+with ``FaultPlan.total_failure()`` every sparse-eligible token falls back
+to the dense path and generation still completes — the correctness anchor
+that FlashAttention-style dense kernels provide real sparse systems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import LongSightConfig
+from repro.core.itq import ItqRotations
+from repro.core.metrics import FilterStats
+from repro.drex.backend import DrexOffloadBackend
+from repro.drex.descriptors import RequestDescriptor, ResponseDescriptor
+from repro.errors import (CorruptedKsoError, OffloadTimeoutError, QueueFullError,
+                          ReproError)
+from repro.llm.config import ModelConfig
+from repro.system.faults import FaultInjector, FaultPlan, make_faulty_device
+
+
+@dataclasses.dataclass(frozen=True)
+class SupervisorPolicy:
+    """Retry/timeout/repair policy for supervised offloads."""
+
+    #: additional attempts after the first failure (0 = degrade immediately).
+    max_retries: int = 3
+    #: backoff before retry ``i`` is ``base * multiplier**i``, jittered.
+    base_backoff_ns: float = 2_000.0
+    backoff_multiplier: float = 2.0
+    #: uniform jitter fraction: each backoff is scaled by ``1 +/- jitter``.
+    jitter: float = 0.25
+    #: per-request budget on the simulated device latency; a completed
+    #: offload slower than this counts as timed out (None disables).
+    timeout_ns: Optional[float] = 10e6
+    #: verify KSO checksums after each offload and discard tainted results.
+    verify_kso: bool = True
+    #: repair corrupted KSOs by repacking signs from the stored keys.
+    repair_kso: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+@dataclasses.dataclass
+class SupervisorStats:
+    """Telemetry the supervisor accumulates across a run."""
+
+    attempts: int = 0
+    succeeded: int = 0
+    retries: int = 0
+    degraded: int = 0
+    timeouts: int = 0
+    queue_full: int = 0
+    corrupted_heads: int = 0
+    repairs: int = 0
+    flush_deferrals: int = 0
+    backoff_ns: float = 0.0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class OffloadSupervisor:
+    """Retry / verify / repair / degrade wrapper around one device."""
+
+    def __init__(self, device, policy: Optional[SupervisorPolicy] = None,
+                 seed: int = 0) -> None:
+        self.device = device
+        self.policy = policy or SupervisorPolicy()
+        #: jitter stream, independent of the injector's fault stream so the
+        #: two never perturb each other's determinism.
+        self.rng = np.random.default_rng(seed)
+        self.stats = SupervisorStats()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_kso(self, request: RequestDescriptor) -> None:
+        """Verify (and repair) the request's sign stores; raise on taint."""
+        bad = self.device.corrupted_ksos(request.uid, request.layer)
+        if not bad:
+            return
+        self.stats.corrupted_heads += len(bad)
+        if self.policy.repair_kso:
+            for kv_head in bad:
+                self.device.repair_kso(request.uid, request.layer, kv_head)
+                self.stats.repairs += 1
+        raise CorruptedKsoError(
+            f"KSO checksum failed for uid={request.uid} "
+            f"layer={request.layer} kv_heads={bad}"
+            + (" (repaired from Key Objects)" if self.policy.repair_kso
+               else ""))
+
+    def _attempt(self, request: RequestDescriptor) -> ResponseDescriptor:
+        """One supervised attempt: execute, verify integrity, check budget."""
+        response = self.device.execute(request)
+        if self.policy.verify_kso:
+            # Corruption may have landed during this very offload; a tainted
+            # sign store means the returned top-k cannot be trusted.
+            self._check_kso(request)
+        timeout = self.policy.timeout_ns
+        if timeout is not None and response.latency is not None \
+                and response.latency.total_ns > timeout:
+            raise OffloadTimeoutError(
+                f"offload exceeded per-request budget: "
+                f"{response.latency.total_ns:.0f} ns > {timeout:.0f} ns")
+        return response
+
+    def _backoff(self, attempt: int) -> float:
+        policy = self.policy
+        delay = policy.base_backoff_ns * policy.backoff_multiplier ** attempt
+        if policy.jitter > 0.0:
+            delay *= 1.0 + policy.jitter * (2.0 * self.rng.random() - 1.0)
+        return delay
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, request: RequestDescriptor
+                ) -> Optional[ResponseDescriptor]:
+        """Run one offload under supervision.
+
+        Returns the response, with accumulated retry backoff charged to its
+        ``latency.queue_ns``, or ``None`` once the retry budget is spent —
+        the caller's signal to degrade this token to the dense path.
+        """
+        backoff_total = 0.0
+        for attempt in range(self.policy.max_retries + 1):
+            self.stats.attempts += 1
+            try:
+                response = self._attempt(request)
+            except OffloadTimeoutError:
+                self.stats.timeouts += 1  # injected stall or budget overrun
+            except QueueFullError:
+                self.stats.queue_full += 1
+            except CorruptedKsoError:
+                pass  # counted (and repaired) in _check_kso
+            except ReproError:
+                pass  # any other operational failure: retry, then degrade
+            else:
+                self.stats.succeeded += 1
+                if backoff_total > 0.0 and response.latency is not None:
+                    response.latency.queue_ns += backoff_total
+                return response
+            if attempt < self.policy.max_retries:
+                self.stats.retries += 1
+                delay = self._backoff(attempt)
+                backoff_total += delay
+                self.stats.backoff_ns += delay
+        self.stats.degraded += 1
+        return None
+
+    def flush_allowed(self) -> bool:
+        """Gate for staged KV flushes (allocator capacity pressure).
+
+        A blocked flush is not an error: tokens stay staged in the HBM
+        window (attended densely) until pressure clears on a later step.
+        """
+        injector = getattr(self.device, "injector", None)
+        if injector is not None and injector.fires("capacity_pressure"):
+            self.stats.flush_deferrals += 1
+            return False
+        return True
+
+
+class SupervisedOffloadBackend(DrexOffloadBackend):
+    """The functional DReX offload path, end to end, under supervision.
+
+    Drop-in for :class:`DrexOffloadBackend`: same attention protocol, same
+    results when healthy, but every offload and flush runs through an
+    :class:`OffloadSupervisor` against a fault-injecting device.  Degraded
+    tokens are recorded in ``degraded_log`` / ``degraded_tokens`` (see the
+    base class) and attend via the dense sliding-window region only.
+    """
+
+    def __init__(self, model_config: ModelConfig, config: LongSightConfig,
+                 rotations: Optional[ItqRotations] = None,
+                 plan: Optional[FaultPlan] = None,
+                 policy: Optional[SupervisorPolicy] = None,
+                 uid: int = 0, flush_granularity: int = 128,
+                 stats: Optional[FilterStats] = None,
+                 supervisor_seed: int = 0) -> None:
+        if config.use_itq and rotations is None:
+            raise ValueError("use_itq requires rotations")
+        device = make_faulty_device(model_config, config, rotations=rotations,
+                                    plan=plan)
+        super().__init__(model_config, config, rotations=rotations,
+                         device=device, uid=uid,
+                         flush_granularity=flush_granularity, stats=stats)
+        self.supervisor = OffloadSupervisor(device, policy,
+                                            seed=supervisor_seed)
+
+    @property
+    def injector(self) -> FaultInjector:
+        return self.device.injector
+
+    def _offload(self, request: RequestDescriptor
+                 ) -> Optional[ResponseDescriptor]:
+        return self.supervisor.execute(request)
+
+    def _flush_gate(self, layer: int, n_new: int) -> bool:
+        return self.supervisor.flush_allowed()

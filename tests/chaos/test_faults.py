@@ -1,0 +1,148 @@
+"""Fault-plan and fault-injector unit tests."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import OffloadTimeoutError, QueueFullError
+from repro.system.faults import (FAULT_KINDS, FaultInjectingDevice,
+                                 FaultInjector, FaultPlan, make_faulty_device)
+
+pytestmark = pytest.mark.chaos
+
+
+class TestFaultPlan:
+    def test_default_is_healthy(self):
+        plan = FaultPlan.none()
+        assert not plan.any_faults
+        assert all(plan.rate(kind) == 0.0 for kind in FAULT_KINDS)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(cxl_timeout_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(queue_full_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(cxl_degradation_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(kso_bits_flipped=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.none().rate("gamma_rays")
+
+    def test_uniform_and_total_failure(self):
+        uniform = FaultPlan.uniform(0.3, seed=9)
+        for kind in ("queue_full", "response_buffer", "cxl_timeout",
+                     "cxl_degraded", "nma_stall"):
+            assert uniform.rate(kind) == 0.3
+        assert uniform.rate("kso_corruption") == 0.0
+        total = FaultPlan.total_failure()
+        assert total.cxl_timeout_rate == 1.0 and total.any_faults
+
+
+class TestFaultInjector:
+    def test_zero_rate_never_draws(self):
+        """A zero-rate kind must not consume RNG state, so plans that do
+        not use a fault kind are unaffected by its injection point."""
+        injector = FaultInjector(FaultPlan.none(seed=3))
+        before = injector.rng.bit_generator.state["state"]["state"]
+        for kind in FAULT_KINDS:
+            assert not injector.fires(kind)
+        after = injector.rng.bit_generator.state["state"]["state"]
+        assert before == after
+        assert injector.total_fired == 0
+
+    def test_same_seed_same_sequence(self):
+        plan = FaultPlan.uniform(0.5, seed=11)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        seq_a = [a.fires("cxl_timeout") for _ in range(200)]
+        seq_b = [b.fires("cxl_timeout") for _ in range(200)]
+        assert seq_a == seq_b
+        assert a.counts == b.counts
+        assert 0 < a.counts["cxl_timeout"] < 200
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(FaultPlan.total_failure())
+        assert all(injector.fires("cxl_timeout") for _ in range(50))
+
+
+class TestFaultInjectingDevice:
+    def _device(self, plan, tiny_config):
+        from repro.core.config import LongSightConfig
+        cfg = LongSightConfig(window=8, n_sink=4, top_k=8, thresholds=5)
+        device = make_faulty_device(tiny_config, cfg, plan=plan)
+        device.register_user(0)
+        return device, cfg
+
+    def _fill(self, device, tiny_config, n=16, seed=0):
+        rng = np.random.default_rng(seed)
+        for layer in range(tiny_config.n_layers):
+            for kv_head in range(tiny_config.n_kv_heads):
+                device.write_kv(
+                    0, layer, kv_head,
+                    rng.normal(size=(n, tiny_config.head_dim)),
+                    rng.normal(size=(n, tiny_config.head_dim)))
+
+    def _request(self, tiny_config, seed=1):
+        from repro.drex.descriptors import RequestDescriptor
+        rng = np.random.default_rng(seed)
+        return RequestDescriptor(
+            uid=0, layer=0,
+            queries=rng.normal(size=(tiny_config.n_q_heads,
+                                     tiny_config.head_dim)),
+            top_k=8, dtype_bytes=tiny_config.dtype_bytes)
+
+    def test_is_a_drex_device(self, tiny_config):
+        device, _ = self._device(FaultPlan.none(), tiny_config)
+        assert isinstance(device, FaultInjectingDevice)
+
+    def test_timeout_injection(self, tiny_config):
+        device, _ = self._device(FaultPlan.total_failure(), tiny_config)
+        self._fill(device, tiny_config)
+        with pytest.raises(OffloadTimeoutError):
+            device.execute(self._request(tiny_config))
+
+    def test_queue_full_injection(self, tiny_config):
+        device, _ = self._device(FaultPlan(queue_full_rate=1.0), tiny_config)
+        self._fill(device, tiny_config)
+        with pytest.raises(QueueFullError):
+            device.execute(self._request(tiny_config))
+
+    def test_latency_faults_distort_only_latency(self, tiny_config):
+        healthy, _ = self._device(FaultPlan.none(), tiny_config)
+        stalled, _ = self._device(
+            FaultPlan(nma_stall_rate=1.0, cxl_degraded_rate=1.0),
+            tiny_config)
+        self._fill(healthy, tiny_config)
+        self._fill(stalled, tiny_config)
+        ok = healthy.execute(self._request(tiny_config))
+        slow = stalled.execute(self._request(tiny_config))
+        # Same computed top-k, distorted latency.
+        for h in range(tiny_config.n_q_heads):
+            np.testing.assert_array_equal(slow.heads[h].indices,
+                                          ok.heads[h].indices)
+        assert slow.latency.total_ns \
+            >= ok.latency.total_ns + stalled.injector.plan.nma_stall_ns
+
+    def test_kso_corruption_persists_until_repaired(self, tiny_config):
+        plan = FaultPlan(kso_corruption_rate=1.0, kso_bits_flipped=3)
+        device, _ = self._device(plan, tiny_config)
+        self._fill(device, tiny_config)
+        assert device.corrupted_ksos(0, 0) == []
+        device.execute(self._request(tiny_config))
+        bad = device.corrupted_ksos(0, 0)
+        assert bad, "corruption should be detectable by checksum"
+        for kv_head in bad:
+            device.repair_kso(0, 0, kv_head)
+        assert device.corrupted_ksos(0, 0) == []
+
+    def test_corrupt_kso_flips_distinct_bits(self, tiny_config):
+        device, _ = self._device(FaultPlan.none(), tiny_config)
+        self._fill(device, tiny_config)
+        rng = np.random.default_rng(0)
+        flips = device.corrupt_kso(0, 0, 0, rng, n_bits=5)
+        assert flips == 5
+        assert not device.kso_intact(0, 0, 0)

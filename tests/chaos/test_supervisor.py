@@ -1,0 +1,197 @@
+"""Supervisor tests: retries, repair, degradation, and equivalences."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LongSightConfig
+from repro.core.hybrid import (LongSightAttention, SlidingWindowAttention)
+from repro.core.metrics import FilterStats
+from repro.drex.backend import DrexOffloadBackend
+from repro.llm.model import Transformer
+from repro.system.faults import FaultPlan
+from repro.system.supervisor import (OffloadSupervisor, SupervisedOffloadBackend,
+                                     SupervisorPolicy)
+
+pytestmark = pytest.mark.chaos
+
+CFG = LongSightConfig(window=8, n_sink=4, top_k=12, thresholds=5)
+
+
+def _decode(tiny_config, backend, n_tokens=70, seed=5):
+    model = Transformer(tiny_config, seed=seed)
+    tokens = np.random.default_rng(21).integers(
+        0, tiny_config.vocab_size, size=n_tokens)
+    return model.forward_full(tokens, backend=backend, block_size=16)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(jitter=1.0)
+
+
+class TestZeroFaultEquivalence:
+    """FaultPlan.none(): supervision must be an exact no-op."""
+
+    def test_bit_identical_outputs_and_selections(self, tiny_config):
+        plain = DrexOffloadBackend(tiny_config, CFG, flush_granularity=1)
+        plain.selection_capture = {}
+        reference = _decode(tiny_config, plain)
+
+        supervised = SupervisedOffloadBackend(
+            tiny_config, CFG, plan=FaultPlan.none(), flush_granularity=1)
+        supervised.selection_capture = {}
+        out = _decode(tiny_config, supervised)
+
+        np.testing.assert_array_equal(out, reference)
+        assert set(supervised.selection_capture) == \
+            set(plain.selection_capture)
+        for key, indices in plain.selection_capture.items():
+            np.testing.assert_array_equal(
+                supervised.selection_capture[key], indices)
+        assert supervised.degraded_tokens == 0
+        assert supervised.supervisor.stats.retries == 0
+        assert supervised.injector.total_fired == 0
+
+    def test_filter_stats_identical(self, tiny_config):
+        stats_plain = FilterStats(tiny_config.n_layers,
+                                  tiny_config.n_kv_heads)
+        _decode(tiny_config, DrexOffloadBackend(
+            tiny_config, CFG, flush_granularity=1, stats=stats_plain))
+        stats_supervised = FilterStats(tiny_config.n_layers,
+                                       tiny_config.n_kv_heads)
+        _decode(tiny_config, SupervisedOffloadBackend(
+            tiny_config, CFG, plan=FaultPlan.none(), flush_granularity=1,
+            stats=stats_supervised))
+        for field in ("candidates", "passed", "retrieved", "queries"):
+            np.testing.assert_array_equal(
+                getattr(stats_supervised, field),
+                getattr(stats_plain, field))
+
+    def test_matches_software_hybrid(self, tiny_config):
+        software = _decode(tiny_config, LongSightAttention(CFG))
+        supervised = _decode(tiny_config, SupervisedOffloadBackend(
+            tiny_config, CFG, plan=FaultPlan.none(), flush_granularity=1))
+        np.testing.assert_allclose(supervised, software, atol=1e-10)
+
+
+class TestTotalFailure:
+    """A dead device must degrade to dense sliding-window, not crash."""
+
+    def test_completes_fully_degraded(self, tiny_config):
+        backend = SupervisedOffloadBackend(
+            tiny_config, CFG, plan=FaultPlan.total_failure(),
+            flush_granularity=1)
+        out = _decode(tiny_config, backend)
+        assert np.isfinite(out).all()
+        assert backend.degraded_token_fraction == 1.0
+        assert backend.degraded_tokens == backend.sparse_token_attempts > 0
+        assert len(backend.degraded_log) == backend.degraded_tokens
+        stats = backend.supervisor.stats
+        assert stats.degraded == backend.degraded_tokens
+        assert stats.retries == \
+            backend.degraded_tokens * backend.supervisor.policy.max_retries
+
+    def test_equals_sliding_window_software(self, tiny_config):
+        """With flush_granularity=1 the degraded dense region is exactly
+        sinks + window, so the output must match the software baseline."""
+        backend = SupervisedOffloadBackend(
+            tiny_config, CFG, plan=FaultPlan.total_failure(),
+            flush_granularity=1)
+        degraded = _decode(tiny_config, backend)
+        software = _decode(tiny_config, SlidingWindowAttention(
+            window=CFG.window, n_sink=CFG.n_sink))
+        np.testing.assert_allclose(degraded, software, atol=1e-10)
+
+
+class TestRetriesAndRepair:
+    def test_transient_faults_are_retried(self, tiny_config):
+        backend = SupervisedOffloadBackend(
+            tiny_config, CFG, plan=FaultPlan.uniform(0.3, seed=2),
+            flush_granularity=1)
+        out = _decode(tiny_config, backend)
+        assert np.isfinite(out).all()
+        stats = backend.supervisor.stats
+        assert stats.retries > 0
+        assert stats.succeeded > 0
+        assert stats.backoff_ns > 0.0
+        # Most tokens should survive via retry at a 30% transient rate
+        # with 3 retries.
+        assert backend.degraded_token_fraction < 0.5
+
+    def test_backoff_grows_and_jitters(self):
+        supervisor = OffloadSupervisor(device=None, policy=SupervisorPolicy(
+            base_backoff_ns=1000.0, backoff_multiplier=2.0, jitter=0.25),
+            seed=4)
+        d0 = supervisor._backoff(0)
+        d2 = supervisor._backoff(2)
+        assert 750.0 <= d0 <= 1250.0
+        assert 3000.0 <= d2 <= 5000.0
+
+    def test_corruption_detected_and_repaired(self, tiny_config):
+        plan = FaultPlan(kso_corruption_rate=0.5, kso_bits_flipped=3, seed=6)
+        backend = SupervisedOffloadBackend(
+            tiny_config, CFG, plan=plan, flush_granularity=1)
+        out = _decode(tiny_config, backend)
+        assert np.isfinite(out).all()
+        stats = backend.supervisor.stats
+        assert stats.corrupted_heads > 0
+        assert stats.repairs == stats.corrupted_heads
+        # Repair restores checksums: every store ends the run intact.
+        for layer in range(tiny_config.n_layers):
+            assert backend.device.corrupted_ksos(0, layer) == []
+
+    def test_repaired_run_matches_healthy_run(self, tiny_config):
+        """Sign repair reconstructs the exact signs, so a corrupted-then-
+        repaired run selects the same keys as a healthy one — provided the
+        retry budget is deep enough that no token ever degrades."""
+        healthy = _decode(tiny_config, SupervisedOffloadBackend(
+            tiny_config, CFG, plan=FaultPlan.none(), flush_granularity=1))
+        backend = SupervisedOffloadBackend(
+            tiny_config, CFG,
+            plan=FaultPlan(kso_corruption_rate=0.3, kso_bits_flipped=3,
+                           seed=6),
+            policy=SupervisorPolicy(max_retries=16),
+            flush_granularity=1)
+        repaired = _decode(tiny_config, backend)
+        assert backend.supervisor.stats.repairs > 0
+        assert backend.degraded_tokens == 0
+        np.testing.assert_array_equal(repaired, healthy)
+
+
+class TestReproducibility:
+    def _run(self, tiny_config, seed):
+        backend = SupervisedOffloadBackend(
+            tiny_config, CFG,
+            plan=FaultPlan.uniform(0.4, seed=seed), flush_granularity=1)
+        out = _decode(tiny_config, backend)
+        return out, backend.supervisor.stats.as_dict(), \
+            dict(backend.injector.counts), list(backend.degraded_log)
+
+    def test_same_seed_same_everything(self, tiny_config):
+        out_a, stats_a, counts_a, log_a = self._run(tiny_config, seed=13)
+        out_b, stats_b, counts_b, log_b = self._run(tiny_config, seed=13)
+        np.testing.assert_array_equal(out_a, out_b)
+        assert stats_a == stats_b
+        assert counts_a == counts_b
+        assert log_a == log_b
+
+    def test_different_seed_different_faults(self, tiny_config):
+        _, _, counts_a, _ = self._run(tiny_config, seed=13)
+        _, _, counts_b, _ = self._run(tiny_config, seed=14)
+        assert counts_a != counts_b
+
+
+class TestCapacityPressure:
+    def test_flush_deferral_keeps_tokens_dense(self, tiny_config):
+        backend = SupervisedOffloadBackend(
+            tiny_config, CFG,
+            plan=FaultPlan(capacity_pressure_rate=0.5, seed=8),
+            flush_granularity=1)
+        out = _decode(tiny_config, backend)
+        assert np.isfinite(out).all()
+        assert backend.supervisor.stats.flush_deferrals > 0

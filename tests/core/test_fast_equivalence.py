@@ -228,3 +228,41 @@ def test_model_level_equivalence(rng):
     ref = model.forward_full(
         tokens, backend=LongSightAttention(config, use_fast_path=False))
     np.testing.assert_allclose(fast, ref, atol=1e-10)
+
+
+def test_supervised_offload_equivalence(rng):
+    """The zero-fault supervised device path joins the equivalence chain:
+    same outputs, selected-key sets, and FilterStats as the unsupervised
+    device backend, which in turn matches the software fast path."""
+    from repro.drex.backend import DrexOffloadBackend
+    from repro.llm.model import Transformer
+    from repro.system.faults import FaultPlan
+    from repro.system.supervisor import SupervisedOffloadBackend
+
+    model = Transformer(TINY, seed=3)
+    tokens = rng.integers(0, TINY.vocab_size, size=80)
+    config = LongSightConfig(window=8, n_sink=2, top_k=4,
+                             thresholds=TINY.head_dim // 2)
+    results = {}
+    for name, backend in (
+            ("plain", DrexOffloadBackend(TINY, config, flush_granularity=1)),
+            ("supervised", SupervisedOffloadBackend(
+                TINY, config, plan=FaultPlan.none(), flush_granularity=1))):
+        stats = FilterStats(TINY.n_layers, TINY.n_kv_heads)
+        backend.device.stats = stats
+        backend.selection_capture = {}
+        out = model.forward_full(tokens, backend=backend, block_size=16)
+        results[name] = (out, backend.selection_capture, stats)
+    out_plain, sel_plain, stats_plain = results["plain"]
+    out_sup, sel_sup, stats_sup = results["supervised"]
+    np.testing.assert_array_equal(out_sup, out_plain)
+    assert set(sel_sup) == set(sel_plain)
+    for key in sel_plain:
+        np.testing.assert_array_equal(sel_sup[key], sel_plain[key])
+    for field in ("candidates", "passed", "retrieved", "queries"):
+        np.testing.assert_array_equal(getattr(stats_sup, field),
+                                      getattr(stats_plain, field))
+    # And the device path tracks the software fast path.
+    software = model.forward_full(tokens, backend=LongSightAttention(config),
+                                  block_size=16)
+    np.testing.assert_allclose(out_sup, software, atol=1e-10)

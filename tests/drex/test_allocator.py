@@ -128,3 +128,60 @@ class TestCapacity:
         assert alloc.utilization() == 0.0
         alloc.append_keys(0, 0, 0, 1024, 64)
         assert 0.0 < alloc.utilization() < 1.0
+
+
+#: Geometry sized so head_dim=64 groups (17 rows) tile each bank exactly
+#: four times: the device fills to utilization == 1.0 with no slack.
+EXACT = DrexGeometry(n_packages=2, channels_per_package=2,
+                     banks_per_channel=4,
+                     capacity_bytes=2 * 2 * 4 * (4 * 17) * 2048)
+
+
+class TestChurn:
+    def test_capacity_error_exactly_at_capacity(self):
+        """Filling every row succeeds; the first key past the last full
+        group raises; freeing reclaims the space for reuse."""
+        alloc = DrexAllocator(EXACT)
+        rows = rows_per_group(64, EXACT)
+        groups_per_bank = EXACT.rows_per_bank // rows
+        total_keys = (EXACT.n_packages * EXACT.banks_per_channel
+                      * groups_per_bank * EXACT.keys_per_key_block_group)
+        alloc.append_keys(0, 0, 0, total_keys, 64)
+        assert alloc.utilization() == 1.0
+        with pytest.raises(CapacityError):
+            alloc.append_keys(0, 0, 0, 1, 64)
+        assert alloc.free_user(0) == EXACT.capacity_bytes
+        assert alloc.bytes_used == 0
+        alloc.append_keys(1, 0, 0, total_keys, 64)  # space reclaimed
+        assert alloc.utilization() == 1.0
+
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("append"), st.integers(0, 2), st.integers(0, 1),
+                  st.integers(0, 1), st.integers(1, 1500)),
+        st.tuples(st.just("free"), st.integers(0, 2), st.just(0),
+                  st.just(0), st.just(0))),
+        min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_register_grow_free_churn(self, ops):
+        """Random register/grow/free interleavings never over-allocate,
+        account every byte to its user, and fully reclaim on drain."""
+        alloc = DrexAllocator(EXACT)
+        spent = {}
+        for op, uid, layer, head, n in ops:
+            if op == "append":
+                before = alloc.bytes_used
+                try:
+                    alloc.append_keys(uid, layer, head, n, head_dim=64)
+                except CapacityError:
+                    pass  # partial allocations still accrue to the user
+                spent[uid] = spent.get(uid, 0) + alloc.bytes_used - before
+            else:
+                freed = alloc.free_user(uid)
+                assert freed == spent.pop(uid, 0)
+            assert 0.0 <= alloc.utilization() <= 1.0
+        for uid in list(spent):
+            assert alloc.free_user(uid) == spent.pop(uid)
+        assert alloc.bytes_used == 0
+        # Post-churn the device is usable again from a clean slate.
+        alloc.append_keys(99, 0, 0, 1, 64)
+        assert alloc.bytes_used > 0

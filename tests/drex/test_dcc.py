@@ -43,6 +43,49 @@ class TestRegistration:
         dcc.unregister_user(3)
         dcc.register_user(8888)  # reuses the freed slot
 
+    def test_unregister_drains_queued_requests(self):
+        """Regression: a departed user's queued requests must leave the
+        FIFO — they could never complete (no response buffer) and would
+        occupy slots forever."""
+        dcc = DrexCxlController()
+        dcc.register_user(1)
+        dcc.register_user(2)
+        for _ in range(3):
+            dcc.submit(_request(1))
+        dcc.submit(_request(2))
+        dcc.unregister_user(1)
+        assert dcc.pending == 1
+        assert dcc.pop_next().uid == 2
+        assert dcc.pop_next() is None
+
+    def test_unregister_drain_restores_queue_headroom(self):
+        dcc = DrexCxlController()
+        dcc.register_user(1)
+        for _ in range(DrexCxlController.QUEUE_DEPTH):
+            dcc.submit(_request(1))
+        dcc.unregister_user(1)
+        dcc.register_user(2)
+        dcc.submit(_request(2))  # queue no longer full
+        assert dcc.pending == 1
+
+    def test_full_buffer_churn_recycles_indices(self):
+        """Fill all 512 buffers, unregister everyone, re-register: every
+        buffer index and polling bit must be recycled cleanly."""
+        dcc = DrexCxlController()
+        n = DrexCxlController.N_RESPONSE_BUFFERS
+        first = {uid: dcc.register_user(uid) for uid in range(n)}
+        for uid in range(n):
+            dcc.complete(_response(uid))
+        for uid in range(n):
+            dcc.unregister_user(uid)
+        assert not dcc.polling_register.any()
+        second = {uid: dcc.register_user(uid) for uid in range(n, 2 * n)}
+        assert sorted(second.values()) == sorted(first.values())
+        # Stale completions from the first generation are gone.
+        assert all(not dcc.poll(uid) for uid in second)
+        with pytest.raises(QueueFullError):
+            dcc.register_user(10_000)
+
 
 class TestQueue:
     def test_fifo_order(self):
@@ -66,6 +109,20 @@ class TestQueue:
         dcc = DrexCxlController()
         with pytest.raises(KeyError):
             dcc.submit(_request(42))
+
+    def test_unknown_user_error_is_descriptive(self):
+        from repro.errors import ReproError, UnknownUserError
+
+        dcc = DrexCxlController()
+        dcc.register_user(7)
+        with pytest.raises(UnknownUserError) as excinfo:
+            dcc.buffer_index(42)
+        message = str(excinfo.value)
+        assert "UID 42" in message and "1 users bound" in message
+        # Still catchable as KeyError (hardware CAM-miss semantics) and as
+        # the shared repro error base.
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, ReproError)
 
 
 class TestResponsePath:
