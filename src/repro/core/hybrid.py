@@ -109,6 +109,14 @@ class LongSightAttention:
         self.use_fast_path = use_fast_path
         self.selection_capture: Optional[Dict[Tuple[int, int], np.ndarray]] = None
         self._dense_fallback: Optional["SlidingWindowAttention"] = None
+        # Per-(layer, heads) threshold stacks, rebuilt if the config's
+        # thresholds object is swapped (tuning replaces whole configs, so
+        # identity is a sufficient staleness check).  One backend instance
+        # is shared by every session of a serving batch; without the memo
+        # the packed decode path re-runs the python head loops for each
+        # (session, layer, token).
+        self._threshold_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._threshold_cache_key: Optional[int] = None
 
     # -- cache integration ----------------------------------------------------
 
@@ -328,13 +336,25 @@ class LongSightAttention:
 
     def _threshold_stack(self, layer: int, n_kv_heads: int,
                          group: int) -> np.ndarray:
-        """Per-head thresholds broadcastable over ``(Hkv, G, n_q, n_ctx)``."""
+        """Per-head thresholds broadcastable over ``(Hkv, G, n_q, n_ctx)``.
+
+        Memoized per (layer, head geometry); the memo is dropped whenever
+        ``config.thresholds`` is replaced with a different object.
+        """
         cfg = self.config
+        if self._threshold_cache_key != id(cfg.thresholds):
+            self._threshold_cache.clear()
+            self._threshold_cache_key = id(cfg.thresholds)
+        key = (layer, n_kv_heads, group)
+        cached = self._threshold_cache.get(key)
+        if cached is not None:
+            return cached
         th = np.empty((n_kv_heads, group, 1, 1))
         for kv_head in range(n_kv_heads):
             for g in range(group):
                 th[kv_head, g] = cfg.threshold_for(
                     layer, kv_head, kv_head * group + g)
+        self._threshold_cache[key] = th
         return th
 
     # -- reference path -------------------------------------------------------

@@ -27,6 +27,15 @@ class CapacityError(ReproError):
     """DReX cannot hold the requested allocation."""
 
 
+class PoolExhaustedError(CapacityError):
+    """The paged KV pool has no free blocks for the requested growth.
+
+    Raised by :class:`repro.serve.paged_kv.PagedKVPool`; the serving
+    engine's signal to preempt a session (or defer admission) rather than
+    crash the batch.  Subclasses :class:`CapacityError` so generic
+    capacity handling keeps working."""
+
+
 class OffloadTimeoutError(ReproError):
     """An offload did not complete within its deadline (CXL stall, lost
     response, or a device-side latency beyond the per-request budget)."""

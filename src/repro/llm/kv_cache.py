@@ -55,9 +55,40 @@ class LayerKV:
         #: sequence of appends this equals the number of tokens seen since
         #: the cache was enabled (plus the backlog packed at enable time).
         self.signs_packed_total = 0
+        self._freed = False
 
     def __len__(self) -> int:
         return self._len
+
+    @property
+    def freed(self) -> bool:
+        """True once :meth:`free` released this layer's storage."""
+        return self._freed
+
+    def free(self) -> None:
+        """Release the K/V (and sign) storage of a finished session.
+
+        Serving engines hold one cache per live session; without a release
+        path a completed session keeps its whole arena alive until the
+        Python object dies.  After ``free()`` the layer is empty and holds
+        only minimal placeholders; any further append raises.  Idempotent.
+        """
+        if self._freed:
+            return
+        self._len = 0
+        self._capacity = 1
+        self._k = np.zeros((self.n_kv_heads, 1, self.head_dim),
+                           dtype=self.dtype)
+        self._v = np.zeros_like(self._k)
+        if self._signs is not None:
+            self._signs = np.zeros((self.n_kv_heads, 1, self._sign_nbytes),
+                                   dtype=np.uint8)
+        self._freed = True
+
+    def _check_not_freed(self) -> None:
+        if self._freed:
+            raise RuntimeError("LayerKV was freed; sessions must not append "
+                               "after release")
 
     def _grow(self, needed: int) -> None:
         new_cap = self._capacity
@@ -77,6 +108,7 @@ class LayerKV:
 
     def reserve(self, capacity: int) -> None:
         """Pre-allocate for ``capacity`` tokens (one realloc at most)."""
+        self._check_not_freed()
         if capacity > self._capacity:
             self._grow(capacity)
 
@@ -85,6 +117,7 @@ class LayerKV:
 
         ``k`` and ``v`` have shape ``(n_kv_heads, n_new, head_dim)``.
         """
+        self._check_not_freed()
         if k.shape != v.shape:
             raise ValueError("key and value shapes must match")
         if k.shape[0] != self.n_kv_heads or k.shape[2] != self.head_dim:
@@ -190,6 +223,23 @@ class KVCache:
         """Pre-allocate every layer for ``capacity`` tokens."""
         for layer in self.layers:
             layer.reserve(capacity)
+
+    @property
+    def freed(self) -> bool:
+        """True once :meth:`free` released every layer's storage."""
+        return all(layer.freed for layer in self.layers)
+
+    def free(self) -> None:
+        """Release all per-layer storage of a finished session (idempotent).
+
+        The session-release half of the cache lifecycle: serving engines
+        call this when a request completes so the memory (or, for pooled
+        subclasses, the arena blocks) returns immediately instead of
+        waiting for garbage collection.  A freed cache must not be
+        appended to again.
+        """
+        for layer in self.layers:
+            layer.free()
 
     @property
     def sign_cache_enabled(self) -> bool:

@@ -237,6 +237,46 @@ class Transformer:
             x = self._layer(layer, x, positions, cache, backend)
         return self._unembed(x)[0]
 
+    def decode_step_batch(self, tokens, caches,
+                          backends=None) -> list:
+        """One decode step for many independent sessions (layer-major).
+
+        The multi-session analogue of :meth:`decode_step` used by the
+        continuous-batching serving engine: sessions are traversed
+        layer-major (all sessions' layer 0, then layer 1, ...), so each
+        layer's weight matrices are touched once per step instead of once
+        per session.  Every per-session operation keeps exactly the shapes
+        and order of :meth:`decode_step` — merging sessions into one GEMM
+        would change BLAS blocking and drift in the last ulp — so the
+        logits of each session are bit-identical to stepping it alone.
+
+        Args:
+            tokens: one pending token id per session.
+            caches: one KV cache per session (plain or paged).
+            backends: a single shared backend, a per-session sequence, or
+                ``None`` for dense attention.
+
+        Returns:
+            list of ``(vocab,)`` next-token logits, one per session.
+        """
+        n = len(tokens)
+        if len(caches) != n:
+            raise ValueError("tokens and caches must be parallel")
+        if backends is None or not isinstance(backends, (list, tuple)):
+            backends = [backends or DenseBackend()] * n
+        elif len(backends) != n:
+            raise ValueError("need one backend per session")
+        for cache, backend in zip(caches, backends):
+            self._prepare_cache(cache, backend)
+        xs = [self.weights["embed"][np.asarray([token])] for token in tokens]
+        positions = [np.arange(len(cache), len(cache) + 1)
+                     for cache in caches]
+        for layer in range(self.config.n_layers):
+            for i in range(n):
+                xs[i] = self._layer(layer, xs[i], positions[i], caches[i],
+                                    backends[i])
+        return [self._unembed(x)[0] for x in xs]
+
 
 class TrainableTransformer:
     """Autograd twin of :class:`Transformer`, dense attention only."""

@@ -1,0 +1,359 @@
+"""The continuous-batching functional serving engine.
+
+:class:`ServeEngine` decodes real tokens for many concurrent requests
+through one shared :class:`~repro.llm.model.Transformer` and per-session
+attention backends, over a shared :class:`~repro.serve.paged_kv.PagedKVPool`.
+Each engine step interleaves one chunk of prefill with a decode step for
+every running session (continuous batching), exactly as the paper's
+serving story pairs sparse attention with request-level scheduling.
+
+Two clocks are supported:
+
+- **analytic** (default for benchmarks): step durations come from the
+  ``repro.system`` performance models (:class:`AnalyticTiming`), so TTFT /
+  TPOT are meaningful at paper scale while tokens are still *actually
+  decoded* by the miniature model — the same layering the analytic
+  :class:`~repro.system.serving_sim.ServingSimulator` uses, which is what
+  makes cross-validation between the two meaningful;
+- **measured** (``timing=None``): wall-clock seconds of the numpy compute.
+
+Correctness anchor: with an ample pool, a zero-fault backend, and the
+default chunking, every served session's token stream is **bit-identical**
+to single-session :func:`repro.llm.sampling.generate` on the same prompt —
+chunked prefill splits on the model's prefill block boundaries (identical
+blocking), paged reads gather identical values, and the decode batch keeps
+every per-session GEMM shape unchanged (see ``decode_step_batch``).
+Preemption preserves this too: victims are resumed by re-prefilling
+``prompt + outputs[:-1]`` (K/V projections are blocking-independent) and
+replaying the last sampled token through a real decode step.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import PoolExhaustedError
+from repro.llm.model import Transformer
+from repro.serve.events import ServeReport
+from repro.serve.paged_kv import PagedKVPool
+from repro.serve.scheduler import (ContinuousBatchScheduler, RequestState,
+                                   ServeRequest, SloPolicy, StepPlan)
+
+
+class TimingModel(Protocol):
+    """Maps one engine step's work to seconds of serving time."""
+
+    def decode_step_s(self, contexts: Sequence[int],
+                      degraded: Optional[Sequence[bool]]) -> float:
+        ...
+
+    def prefill_chunk_s(self, context_before: int, context_after: int) -> float:
+        ...
+
+
+class AnalyticTiming:
+    """Adapter from the ``repro.system`` analytic models to engine steps.
+
+    Args:
+        system: any serving-simulator system model (``step_latency_s`` over
+            heterogeneous contexts; ``step_latency_degraded_s`` used when
+            present and any session is degraded).
+        model_config: the paper-scale model the latencies are charged for.
+        prefill: optional :class:`~repro.system.prefill.PrefillModel`; when
+            given, a prefill chunk costs the *incremental* prefill latency
+            between its start and end context (``None`` models prefill as
+            fully overlapped with decode, like the analytic simulator).
+    """
+
+    def __init__(self, system, model_config, prefill=None) -> None:
+        self.system = system
+        self.model_config = model_config
+        self.prefill = prefill
+
+    def decode_step_s(self, contexts, degraded=None) -> float:
+        if not contexts:
+            return 0.0
+        degraded_step = getattr(self.system, "step_latency_degraded_s", None)
+        if degraded is not None and degraded_step is not None \
+                and any(degraded):
+            return degraded_step(self.model_config, list(contexts),
+                                 list(degraded))
+        return self.system.step_latency_s(self.model_config, list(contexts))
+
+    def prefill_chunk_s(self, context_before: int, context_after: int) -> float:
+        if self.prefill is None or context_after <= context_before:
+            return 0.0
+        ls = getattr(self.system, "ls", None)
+        after = self.prefill.prefill(self.model_config, context_after,
+                                     ls=ls).total_s
+        if context_before <= 0:
+            return after
+        before = self.prefill.prefill(self.model_config, context_before,
+                                      ls=ls).total_s
+        return max(0.0, after - before)
+
+
+class ServeEngine:
+    """Continuous-batching serving over one model and one paged KV pool.
+
+    Args:
+        model: the shared transformer (weights are read-only).
+        pool: the paged KV arena all sessions share.
+        backend_factory: callable ``(request) -> attention backend`` giving
+            each admitted session its (possibly stateful, e.g. supervised
+            offload) backend; called again after a preemption resume.
+        policy: scheduling knobs (:class:`SloPolicy`).
+        timing: step-time model; ``None`` measures wall-clock numpy time.
+        name: label for the report (e.g. the system being modeled).
+        prefill_block_size: the model-level prefill block; the policy's
+            ``prefill_chunk`` must be a multiple of it so chunked prefill
+            reproduces single-shot prefill exactly.
+    """
+
+    def __init__(self, model: Transformer, pool: PagedKVPool,
+                 backend_factory, policy: Optional[SloPolicy] = None,
+                 timing: Optional[TimingModel] = None,
+                 name: str = "serve", prefill_block_size: int = 256,
+                 max_steps: int = 1_000_000) -> None:
+        self.model = model
+        self.pool = pool
+        self.backend_factory = backend_factory
+        self.policy = policy or SloPolicy()
+        if self.policy.prefill_chunk % prefill_block_size != 0:
+            raise ValueError(
+                "prefill_chunk must be a multiple of prefill_block_size so "
+                "chunked prefill splits on the model's block boundaries")
+        self.timing = timing
+        self.name = name
+        self.prefill_block_size = prefill_block_size
+        self.max_steps = max_steps
+
+    # -- session plumbing -----------------------------------------------------
+
+    def _attach(self, request: ServeRequest) -> None:
+        """Give an admitted request a pool-backed cache and a backend."""
+        request.cache = self.pool.new_cache()
+        request.backend = self.backend_factory(request)
+        if request.pinned_dense:
+            request.backend = self._dense_pin_of(request.backend)
+
+    @staticmethod
+    def _backend_degraded(backend) -> int:
+        """Supervisor degradation counter, 0 for unsupervised backends."""
+        return int(getattr(backend, "degraded_tokens", 0) or 0)
+
+    @staticmethod
+    def _dense_pin_of(backend):
+        """The dense sliding-window twin of a sparse/offload backend.
+
+        Shedding a session from the offload path pins it to exactly the
+        attention the supervisor degrades single tokens to; unsupervised
+        dense backends pin to themselves.
+        """
+        from repro.core.hybrid import SlidingWindowAttention
+
+        fallback = getattr(backend, "dense_fallback", None)
+        if callable(fallback):
+            return fallback()
+        cfg = getattr(backend, "config", None)
+        if cfg is not None and hasattr(cfg, "window"):
+            return SlidingWindowAttention(window=cfg.window,
+                                          n_sink=cfg.n_sink)
+        return backend
+
+    # -- capacity -------------------------------------------------------------
+
+    def _ensure_growth(self, scheduler: ContinuousBatchScheduler,
+                       request: ServeRequest, tokens: int) -> bool:
+        """Secure pool blocks for ``tokens`` total, preempting if needed.
+
+        Returns False when even preemption cannot make room (the request
+        itself must then be shed or deferred).
+        """
+        while True:
+            try:
+                request.cache.ensure_tokens(tokens)
+                return True
+            except PoolExhaustedError:
+                if scheduler.preempt_victim(request) is None:
+                    return False
+
+    # -- the run loop ---------------------------------------------------------
+
+    def run(self, requests: Sequence[ServeRequest]) -> ServeReport:
+        """Serve ``requests`` to completion; returns the event report."""
+        scheduler = ContinuousBatchScheduler(self.pool, self.policy)
+        arrivals = sorted(requests,
+                          key=lambda r: (r.arrival_s, r.request_id))
+        next_arrival = 0
+        clock = 0.0
+        tokens_generated = 0
+        peak_batch = 0
+
+        for _ in range(self.max_steps):
+            while next_arrival < len(arrivals) \
+                    and arrivals[next_arrival].arrival_s <= clock:
+                scheduler.submit(arrivals[next_arrival])
+                next_arrival += 1
+            for request in scheduler.admit(clock):
+                self._attach(request)
+            plan = scheduler.assemble()
+            if plan.empty:
+                if next_arrival < len(arrivals):
+                    clock = max(clock, arrivals[next_arrival].arrival_s)
+                    continue
+                break
+
+            step_s, emitted, degraded_flags = self._execute(
+                scheduler, plan, clock)
+            if step_s == 0.0 and not emitted:
+                # Every runnable session is waiting out its overlapped
+                # prefill charge; jump the clock to the first readiness.
+                waiting = [r.ready_s for r in scheduler.running
+                           if r.state is RequestState.DECODE
+                           and r.ready_s > clock]
+                if waiting:
+                    clock = min(waiting)
+                    continue
+            clock += step_s
+            peak_batch = max(peak_batch, len(plan.decodes))
+            tokens_generated += len(emitted)
+            for request in emitted:
+                stamp = max(clock, request.ready_s)
+                request.events.token_times_s.append(stamp)
+                if request.events.first_token_s is None:
+                    request.events.first_token_s = stamp
+            for request, degraded in degraded_flags:
+                scheduler.note_degraded(request, degraded)
+                if request.pinned_dense and request.state \
+                        is RequestState.DECODE \
+                        and not self._is_pinned_backend(request):
+                    request.backend = self._dense_pin_of(request.backend)
+            for request in list(plan.decodes):
+                if request.state is RequestState.DECODE \
+                        and len(request.outputs) >= request.max_new_tokens:
+                    scheduler.request_finished(request, clock)
+
+        return ServeReport(
+            system=self.name,
+            events=[r.events for r in arrivals],
+            clock_s=clock,
+            tokens_generated=tokens_generated,
+            peak_decode_batch=peak_batch,
+            preemptions=scheduler.preemptions,
+            pool_blocks=self.pool.n_blocks,
+            pool_high_watermark=self.pool.high_watermark,
+        )
+
+    def _is_pinned_backend(self, request: ServeRequest) -> bool:
+        from repro.core.hybrid import SlidingWindowAttention
+
+        return isinstance(request.backend, SlidingWindowAttention)
+
+    # -- one step -------------------------------------------------------------
+
+    def _execute(self, scheduler: ContinuousBatchScheduler,
+                 plan: StepPlan, clock: float):
+        """Run one engine step; returns (seconds, emitters, degradations)."""
+        wall0 = time.perf_counter()
+        emitted: List[ServeRequest] = []
+        analytic_s = 0.0
+
+        # -- chunked prefill --------------------------------------------------
+        for request in list(plan.prefills):
+            target = request.resume_tokens
+            chunk = min(self.policy.prefill_chunk,
+                        len(target) - request.prefilled)
+            if not self._ensure_growth(scheduler, request,
+                                       request.prefilled + chunk):
+                self._shed_in_flight(scheduler, request)
+                continue
+            segment = target[request.prefilled: request.prefilled + chunk]
+            logits = self.model.prefill(segment, request.cache,
+                                        backend=request.backend,
+                                        block_size=self.prefill_block_size)
+            ctx_before = request.prefilled
+            request.prefilled += chunk
+            if self.timing is not None:
+                # Charge prefill at the request's paper-scale prompt
+                # length, scaled to the fraction of prompt processed.
+                # The charge runs *overlapped* with the decode batch
+                # (the analytic simulator's model): it delays this
+                # session's readiness, not the global clock.
+                scale = 1.0
+                if request.charged_prompt_tokens is not None \
+                        and len(request.prompt):
+                    scale = request.charged_prompt_tokens \
+                        / len(request.prompt)
+                request.prefill_charge_s += self.timing.prefill_chunk_s(
+                    int(ctx_before * scale),
+                    int(request.prefilled * scale))
+            if request.prefilled == len(target):
+                scheduler.prefill_complete(request)
+                admitted_s = request.events.admitted_s or 0.0
+                request.ready_s = max(
+                    clock, admitted_s + request.prefill_charge_s)
+                if not request.outputs:
+                    token = int(np.argmax(logits))
+                    request.outputs.append(token)
+                    request.pending_token = token
+                    emitted.append(request)
+                # resumed sessions replay outputs[-1] via a decode step, so
+                # the rebuilt trajectory is bit-identical to the original.
+                else:
+                    request.pending_token = request.outputs[-1]
+
+        # -- decode batch -----------------------------------------------------
+        degraded_flags = []
+        decodes = [r for r in plan.decodes
+                   if r.state is RequestState.DECODE and r.ready_s <= clock]
+        ready = []
+        for request in decodes:
+            if request.state is not RequestState.DECODE:
+                continue  # preempted by an earlier prefill's growth
+            if self._ensure_growth(scheduler, request,
+                                   len(request.cache) + 1):
+                ready.append(request)
+            else:
+                self._shed_in_flight(scheduler, request)
+        # A later session's growth may have preempted one already deemed
+        # ready; drop anything no longer in DECODE before batching.
+        ready = [r for r in ready if r.state is RequestState.DECODE]
+        if ready:
+            before = [self._backend_degraded(r.backend) for r in ready]
+            logits_list = self.model.decode_step_batch(
+                [r.pending_token for r in ready],
+                [r.cache for r in ready],
+                [r.backend for r in ready])
+            for request, logits, seen in zip(ready, logits_list, before):
+                token = int(np.argmax(logits))
+                request.outputs.append(token)
+                request.pending_token = token
+                emitted.append(request)
+                now_degraded = self._backend_degraded(request.backend)
+                degraded = request.pinned_dense or now_degraded > seen
+                degraded_flags.append((request, degraded))
+            if self.timing is not None:
+                analytic_s += self.timing.decode_step_s(
+                    [r.charged_context for r in ready],
+                    [flag for _, flag in degraded_flags])
+
+        step_s = analytic_s if self.timing is not None \
+            else time.perf_counter() - wall0
+        return step_s, emitted, degraded_flags
+
+    def _shed_in_flight(self, scheduler: ContinuousBatchScheduler,
+                        request: ServeRequest) -> None:
+        """Capacity shed: not even preemption freed room for this request."""
+        request.pinned_dense = False
+        request.state = RequestState.SHED
+        request.events.shed = True
+        if request.cache is not None:
+            request.cache.free()
+            request.cache = None
+        request.backend = None
+        scheduler.running.remove(request)
+        scheduler.finished.append(request)

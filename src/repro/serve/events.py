@@ -1,0 +1,161 @@
+"""Per-request event logging and the serve-level report.
+
+Every request carries timestamps for the canonical serving milestones —
+arrival, admission, first token, every subsequent token, completion — in
+the engine's clock (analytic seconds by default, wall seconds in measured
+mode).  :class:`ServeReport` reduces the event log to the metrics a
+serving SLO is written against: TTFT and TPOT percentiles, aggregate
+decode throughput, and the shed/degradation accounting the fault layer
+feeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class RequestEvents:
+    """Timestamps and counters for one request's lifetime."""
+
+    request_id: int
+    arrival_s: float
+    admitted_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    token_times_s: List[float] = dataclasses.field(default_factory=list)
+    degraded_tokens: int = 0
+    preemptions: int = 0
+    shed: bool = False          # finished pinned to the dense fallback
+    rejected: bool = False      # never admitted (SLO or capacity)
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Time to first token (arrival -> first emitted token)."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> Optional[float]:
+        """Mean time per output token after the first."""
+        if self.finished_s is None or len(self.token_times_s) < 2:
+            return None
+        span = self.token_times_s[-1] - self.token_times_s[0]
+        return span / (len(self.token_times_s) - 1)
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.token_times_s)
+
+    def as_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "admitted_s": self.admitted_s,
+            "first_token_s": self.first_token_s,
+            "finished_s": self.finished_s,
+            "n_tokens": self.n_tokens,
+            "ttft_s": self.ttft_s,
+            "tpot_s": self.tpot_s,
+            "degraded_tokens": self.degraded_tokens,
+            "preemptions": self.preemptions,
+            "shed": self.shed,
+            "rejected": self.rejected,
+        }
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(values, q))
+
+
+@dataclasses.dataclass
+class ServeReport:
+    """Outcome of one :class:`~repro.serve.engine.ServeEngine` run."""
+
+    system: str
+    events: List[RequestEvents]
+    clock_s: float                    # engine clock at run end
+    tokens_generated: int
+    peak_decode_batch: int
+    preemptions: int
+    pool_blocks: int
+    pool_high_watermark: int
+
+    # -- request partitions ---------------------------------------------------
+
+    @property
+    def completed(self) -> List[RequestEvents]:
+        return [e for e in self.events if e.finished_s is not None]
+
+    @property
+    def shed(self) -> List[RequestEvents]:
+        return [e for e in self.events if e.shed]
+
+    @property
+    def rejected(self) -> List[RequestEvents]:
+        return [e for e in self.events if e.rejected]
+
+    # -- SLO metrics ----------------------------------------------------------
+
+    def _ttfts(self) -> List[float]:
+        return [e.ttft_s for e in self.events if e.ttft_s is not None]
+
+    def _tpots(self) -> List[float]:
+        return [e.tpot_s for e in self.events if e.tpot_s is not None]
+
+    def ttft_percentile_s(self, q: float) -> float:
+        return _percentile(self._ttfts(), q)
+
+    def tpot_percentile_s(self, q: float) -> float:
+        return _percentile(self._tpots(), q)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Aggregate decode tokens per second of engine time."""
+        return self.tokens_generated / self.clock_s if self.clock_s else 0.0
+
+    @property
+    def degraded_tokens(self) -> int:
+        return sum(e.degraded_tokens for e in self.events)
+
+    @property
+    def degraded_token_fraction(self) -> float:
+        if self.tokens_generated == 0:
+            return 0.0
+        return self.degraded_tokens / self.tokens_generated
+
+    @property
+    def availability(self) -> float:
+        """Completed-with-sparse-service fraction (mirrors ServingReport)."""
+        done = self.completed
+        if not done:
+            return 1.0
+        return sum(1 for e in done if not e.shed) / len(done)
+
+    def as_dict(self) -> Dict:
+        """JSON-ready summary (the per-point payload of BENCH_serve)."""
+        return {
+            "system": self.system,
+            "clock_s": self.clock_s,
+            "tokens_generated": self.tokens_generated,
+            "throughput_tps": self.throughput_tps,
+            "ttft_p50_s": self.ttft_percentile_s(50.0),
+            "ttft_p99_s": self.ttft_percentile_s(99.0),
+            "tpot_p50_s": self.tpot_percentile_s(50.0),
+            "tpot_p99_s": self.tpot_percentile_s(99.0),
+            "completed": len(self.completed),
+            "shed": len(self.shed),
+            "rejected": len(self.rejected),
+            "preemptions": self.preemptions,
+            "peak_decode_batch": self.peak_decode_batch,
+            "degraded_token_fraction": self.degraded_token_fraction,
+            "availability": self.availability,
+            "pool": {"n_blocks": self.pool_blocks,
+                     "high_watermark": self.pool_high_watermark},
+        }

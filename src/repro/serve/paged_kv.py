@@ -1,0 +1,357 @@
+"""Paged KV memory: a block-granular pool shared by every live session.
+
+The serving engine cannot afford one doubling-and-copying numpy arena per
+session (:class:`~repro.llm.kv_cache.LayerKV`): admission/completion churn
+would fragment the heap and every admission would pay fresh allocations.
+Instead the pool preallocates **one arena per decoder layer** and hands
+out fixed-size *blocks* of token slots, vLLM-PagedAttention style:
+
+- a block is ``block_tokens`` rows, shared across every layer's arena (the
+  same block id addresses the same rows of layer 0's and layer N's K, V,
+  and sign arenas — all layers of a session grow in lockstep, so one free
+  list suffices);
+- sessions own a *logical → arena row* mapping; completed sessions return
+  their blocks to the free list (LIFO, so hot arena rows are reused);
+- sign-cache bytes are paged **alongside K/V** in a parallel uint8 arena,
+  so the incremental sign store survives paging exactly like the keys it
+  summarizes (the software Key Sign Objects stay with their Key Objects).
+
+:class:`PagedKVCache` presents the same duck-typed interface the
+transformer and the attention backends consume (``append``, ``reserve``,
+``layers[i].keys/values/packed_signs``, ``window_view``, ...), so a paged
+session is a drop-in replacement for a private :class:`KVCache`.  Reads
+gather logical rows out of the arena; when a session's blocks happen to
+be contiguous (the common case right after admission) the gather
+degenerates to a zero-copy slice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.errors import PoolExhaustedError
+from repro.llm.config import ModelConfig
+
+if TYPE_CHECKING:
+    from repro.core.itq import ItqRotations
+
+
+class PagedKVPool:
+    """Preallocated block-granular K/V/sign arenas for all sessions.
+
+    Args:
+        config: model architecture (layer count, KV heads, head dim, dtype).
+        n_blocks: total blocks in the arena.
+        block_tokens: token slots per block.
+
+    The pool never allocates after construction; :class:`PagedKVCache`
+    growth only moves block ids between the free list and sessions.
+    """
+
+    def __init__(self, config: ModelConfig, n_blocks: int,
+                 block_tokens: int = 16) -> None:
+        if n_blocks < 1 or block_tokens < 1:
+            raise ValueError("need at least one block of at least one token")
+        self.config = config
+        self.n_blocks = n_blocks
+        self.block_tokens = block_tokens
+        dtype = np.dtype(config.kv_dtype)
+        rows = n_blocks * block_tokens
+        shape = (config.n_kv_heads, rows, config.head_dim)
+        self.sign_nbytes = (config.head_dim + 7) // 8
+        #: per-layer arenas; indexed [layer][kv_head, arena_row, dim]
+        self.k_arenas = [np.zeros(shape, dtype=dtype)
+                        for _ in range(config.n_layers)]
+        self.v_arenas = [np.zeros(shape, dtype=dtype)
+                        for _ in range(config.n_layers)]
+        self.sign_arenas = [
+            np.zeros((config.n_kv_heads, rows, self.sign_nbytes),
+                     dtype=np.uint8)
+            for _ in range(config.n_layers)]
+        # LIFO free list: most recently released blocks are reused first.
+        self._free: List[int] = list(range(n_blocks - 1, -1, -1))
+        # -- telemetry --
+        self.total_allocated = 0
+        self.total_released = 0
+        self.high_watermark = 0
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_used(self) -> int:
+        return self.n_blocks - len(self._free)
+
+    def blocks_for_tokens(self, n_tokens: int) -> int:
+        """Blocks needed to hold ``n_tokens`` token slots."""
+        return -(-max(0, n_tokens) // self.block_tokens)
+
+    def can_fit_tokens(self, n_tokens: int) -> bool:
+        """Would a fresh session of ``n_tokens`` fit right now?"""
+        return self.blocks_for_tokens(n_tokens) <= self.n_free
+
+    # -- block lifecycle ------------------------------------------------------
+
+    def allocate(self, n: int) -> List[int]:
+        """Take ``n`` blocks off the free list (all-or-nothing)."""
+        if n < 0:
+            raise ValueError("cannot allocate a negative block count")
+        if n > len(self._free):
+            raise PoolExhaustedError(
+                f"paged KV pool exhausted: need {n} blocks, "
+                f"{len(self._free)} of {self.n_blocks} free")
+        taken = [self._free.pop() for _ in range(n)]
+        self.total_allocated += n
+        self.high_watermark = max(self.high_watermark, self.n_used)
+        return taken
+
+    def release(self, blocks: List[int]) -> None:
+        """Return blocks to the free list (session completion)."""
+        for block in blocks:
+            if not 0 <= block < self.n_blocks:
+                raise ValueError(f"block id {block} outside the arena")
+            if block in self._free:
+                raise ValueError(f"double free of block {block}")
+        self._free.extend(blocks)
+        self.total_released += len(blocks)
+
+    def new_cache(self) -> "PagedKVCache":
+        """A fresh (empty) session cache backed by this pool."""
+        return PagedKVCache(self)
+
+
+class PagedLayerKV:
+    """One layer's view of a paged session: the ``LayerKV`` consumer API.
+
+    Reads gather the session's logical rows from the shared arena; when
+    the underlying blocks are contiguous the gather is a zero-copy slice.
+    """
+
+    def __init__(self, cache: "PagedKVCache", layer: int) -> None:
+        self._cache = cache
+        self._layer = layer
+        pool = cache.pool
+        self.n_kv_heads = pool.config.n_kv_heads
+        self.head_dim = pool.config.head_dim
+        self.dtype = np.dtype(pool.config.kv_dtype)
+        self._k = pool.k_arenas[layer]
+        self._v = pool.v_arenas[layer]
+        self._signs = pool.sign_arenas[layer]
+        self._sign_rot: Optional[np.ndarray] = None
+        self._sign_enabled = False
+        self._len = 0
+        self.signs_packed_total = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- reads ----------------------------------------------------------------
+
+    def _gather(self, arena: np.ndarray) -> np.ndarray:
+        rows = self._cache.rows(self._len)
+        if self._cache.contiguous:
+            start = rows[0] if self._len else 0
+            return arena[:, start : start + self._len]
+        return arena[:, rows]
+
+    @property
+    def keys(self) -> np.ndarray:
+        """``(n_kv_heads, n_tokens, head_dim)`` keys in logical order."""
+        return self._gather(self._k)
+
+    @property
+    def values(self) -> np.ndarray:
+        """``(n_kv_heads, n_tokens, head_dim)`` values in logical order."""
+        return self._gather(self._v)
+
+    @property
+    def sign_cache_enabled(self) -> bool:
+        return self._sign_enabled
+
+    @property
+    def packed_signs(self) -> np.ndarray:
+        """``(n_kv_heads, n_tokens, sign_nbytes)`` packed rotated signs."""
+        if not self._sign_enabled:
+            raise RuntimeError("sign cache not enabled; call enable_sign_cache")
+        return self._gather(self._signs)
+
+    # -- writes ---------------------------------------------------------------
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append keys/values for one or more tokens into pool blocks."""
+        if k.shape != v.shape:
+            raise ValueError("key and value shapes must match")
+        if k.shape[0] != self.n_kv_heads or k.shape[2] != self.head_dim:
+            raise ValueError(
+                f"expected (n_kv_heads={self.n_kv_heads}, n, "
+                f"head_dim={self.head_dim}), got {k.shape}")
+        n_new = k.shape[1]
+        if n_new == 0:
+            return
+        self._cache.ensure_tokens(self._len + n_new)
+        rows = self._cache.rows_range(self._len, self._len + n_new)
+        self._k[:, rows] = k
+        self._v[:, rows] = v
+        if self._sign_enabled:
+            self._pack_rows(k, rows)
+        self._len += n_new
+
+    def _pack_rows(self, k: np.ndarray, rows: np.ndarray) -> None:
+        from repro.core.scf import pack_signs
+
+        keys = k if self._sign_rot is None else np.matmul(k, self._sign_rot)
+        self._signs[:, rows] = pack_signs(keys)
+        self.signs_packed_total += len(rows)
+
+    def enable_sign_cache(self, rotations: Optional[np.ndarray] = None) -> None:
+        """Start packing (rotated) key signs on append; packs the backlog."""
+        if rotations is not None and rotations.shape != (
+                self.n_kv_heads, self.head_dim, self.head_dim):
+            raise ValueError("rotation stack shape mismatch")
+        self._sign_rot = rotations
+        self._sign_enabled = True
+        if self._len:
+            rows = self._cache.rows(self._len)
+            self._pack_rows(self._gather(self._k), rows)
+
+    def free(self) -> None:
+        """Per-layer release is a no-op: the cache owns the shared blocks."""
+        self._len = 0
+
+
+class PagedKVCache:
+    """A session's KV cache backed by pool blocks (``KVCache`` interface).
+
+    All layers share one block list (they grow in lockstep), so the block
+    cost of a session is ``ceil(tokens / block_tokens)`` — paid once, not
+    per layer.  :meth:`free` returns every block to the pool; the freed
+    cache must not be appended to again.
+    """
+
+    def __init__(self, pool: PagedKVPool) -> None:
+        self.pool = pool
+        self.config = pool.config
+        self.layers = [PagedLayerKV(self, i)
+                       for i in range(pool.config.n_layers)]
+        self._blocks: List[int] = []
+        #: logical token position -> arena row, grown block-by-block.
+        self._rows = np.empty(0, dtype=np.intp)
+        self.contiguous = True
+        self.sign_rotations: Optional["ItqRotations"] = None
+        self._sign_cache_enabled = False
+        self._freed = False
+
+    def __len__(self) -> int:
+        """Number of cached tokens (identical across layers)."""
+        return len(self.layers[0])
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def block_ids(self) -> List[int]:
+        return list(self._blocks)
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    # -- row mapping ----------------------------------------------------------
+
+    def rows(self, n_tokens: int) -> np.ndarray:
+        """Arena rows of logical tokens ``[0, n_tokens)``."""
+        return self._rows[:n_tokens]
+
+    def rows_range(self, start: int, stop: int) -> np.ndarray:
+        """Arena rows of logical tokens ``[start, stop)``."""
+        return self._rows[start:stop]
+
+    def ensure_tokens(self, n_tokens: int) -> None:
+        """Grow the block list to cover ``n_tokens`` logical slots.
+
+        Raises :class:`~repro.errors.PoolExhaustedError` (leaving the
+        session's existing blocks intact) when the pool cannot supply the
+        growth — the engine's preemption signal.
+        """
+        if self._freed:
+            raise RuntimeError("PagedKVCache was freed; sessions must not "
+                               "append after release")
+        need = self.pool.blocks_for_tokens(n_tokens) - len(self._blocks)
+        if need <= 0:
+            return
+        new_blocks = self.pool.allocate(need)
+        bt = self.pool.block_tokens
+        for block in new_blocks:
+            if self._blocks and block != self._blocks[-1] + 1:
+                self.contiguous = False
+            self._blocks.append(block)
+            self._rows = np.concatenate(
+                [self._rows, np.arange(block * bt, (block + 1) * bt,
+                                       dtype=np.intp)])
+
+    # -- KVCache interface ----------------------------------------------------
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        self.layers[layer].append(k, v)
+
+    def reserve(self, capacity: int) -> None:
+        """Acquire blocks for ``capacity`` tokens up front (prefill)."""
+        self.ensure_tokens(capacity)
+
+    @property
+    def sign_cache_enabled(self) -> bool:
+        return self._sign_cache_enabled
+
+    def enable_sign_cache(
+            self, rotations: Optional["ItqRotations"] = None) -> None:
+        """Enable per-layer sign packing (idempotent for the same bank)."""
+        if self._sign_cache_enabled and self.sign_rotations is rotations:
+            return
+        for i, layer in enumerate(self.layers):
+            layer.enable_sign_cache(
+                rotations.matrices[i] if rotations is not None else None)
+        self.sign_rotations = rotations
+        self._sign_cache_enabled = True
+
+    def free(self) -> None:
+        """Return every block to the pool (idempotent)."""
+        if self._freed:
+            return
+        for layer in self.layers:
+            layer.free()
+        self.pool.release(self._blocks)
+        self._blocks = []
+        self._rows = np.empty(0, dtype=np.intp)
+        self._freed = True
+
+    # -- dense/sparse views (mirrors KVCache) ---------------------------------
+
+    def window_view(self, layer: int, window: int,
+                    n_sink: int = 0) -> tuple:
+        """(keys, values, positions) of sinks + recent window."""
+        n = len(self.layers[layer])
+        kv = self.layers[layer]
+        if n <= n_sink + window:
+            pos = np.arange(n)
+            return kv.keys, kv.values, pos
+        pos = np.concatenate([np.arange(n_sink), np.arange(n - window, n)])
+        k = kv.keys[:, pos]
+        v = kv.values[:, pos]
+        return k, v, pos
+
+    def offloaded_view(self, layer: int, window: int,
+                       n_sink: int = 0) -> tuple:
+        """(keys, values, positions) of the sparse (offloaded) region."""
+        n = len(self.layers[layer])
+        kv = self.layers[layer]
+        if n <= n_sink + window:
+            empty_k = kv.keys[:, :0]
+            return empty_k, empty_k.copy(), np.arange(0)
+        pos = np.arange(n_sink, n - window)
+        return kv.keys[:, pos], kv.values[:, pos], pos

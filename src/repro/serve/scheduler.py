@@ -1,0 +1,352 @@
+"""Continuous-batching scheduler: request lifecycle and SLO-aware policy.
+
+Requests move through the lifecycle
+
+    QUEUED -> PREFILL -> DECODE -> DONE
+        \\-> SHED (admission SLO blown / impossible fit)   [no tokens]
+    DECODE -> SHED-in-place (degradation budget exhausted) [full output]
+
+The scheduler owns the *decisions* — admission against pool capacity and
+the TTFT SLO, per-step batch assembly (chunked prefill interleaved with
+decode), and preemption victim selection — while the engine owns the
+*mechanics* (running the model, advancing the clock, event logging).
+Keeping the two apart makes the policy unit-testable without a model.
+
+Preemption follows the recompute discipline: a victim's blocks are
+released and the request re-enters the queue remembering its generated
+tokens; on re-admission the engine re-prefills prompt + generated[:-1]
+(K/V projections are blocking-independent, so the rebuilt cache is
+bit-identical) and resumes decoding from the last sampled token.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serve.events import RequestEvents
+from repro.serve.paged_kv import PagedKVPool
+
+
+class RequestState(enum.Enum):
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    DONE = "done"
+    SHED = "shed"
+
+
+@dataclasses.dataclass(frozen=True)
+class SloPolicy:
+    """Scheduling knobs, all expressed against serving objectives.
+
+    Attributes:
+        max_decode_batch: decode sessions stepped together per engine step.
+        prefill_chunk: prompt tokens processed per engine step for the
+            session being prefilled; must be a multiple of the model's
+            prefill block size so chunked prefill reproduces single-shot
+            prefill bit-for-bit.
+        max_prefills_per_step: how many sessions may advance their prefill
+            in one engine step (chunked prefill interleaves with decode, so
+            decode steps keep flowing while long prompts stream in).
+        queue_timeout_s: shed a QUEUED request once its queueing delay
+            alone exceeds this (its TTFT SLO is already unattainable);
+            ``None`` disables shedding at admission.
+        admission_headroom_blocks: free blocks that must remain *after*
+            admitting a request (reserve for decode growth of the running
+            batch; prevents admission from immediately forcing preemption).
+        shed_after_consecutive_degraded: a DECODE session whose offload
+            degrades this many consecutive tokens is pinned to the dense
+            sliding-window fallback for the rest of its life (shed from
+            the sparse path, never from service) — it keeps decoding and
+            completing, mirroring the simulator's shed-in-place semantics.
+    """
+
+    max_decode_batch: int = 16
+    prefill_chunk: int = 256
+    max_prefills_per_step: int = 1
+    queue_timeout_s: Optional[float] = None
+    admission_headroom_blocks: int = 0
+    shed_after_consecutive_degraded: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_decode_batch < 1:
+            raise ValueError("max_decode_batch must be >= 1")
+        if self.prefill_chunk < 1:
+            raise ValueError("prefill_chunk must be >= 1")
+        if self.max_prefills_per_step < 1:
+            raise ValueError("max_prefills_per_step must be >= 1")
+        if self.admission_headroom_blocks < 0:
+            raise ValueError("admission_headroom_blocks must be >= 0")
+        if self.shed_after_consecutive_degraded < 1:
+            raise ValueError("shed_after_consecutive_degraded must be >= 1")
+
+
+@dataclasses.dataclass
+class ServeRequest:
+    """One user request plus its scheduling state."""
+
+    request_id: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    arrival_s: float = 0.0
+    state: RequestState = RequestState.QUEUED
+    #: sampled output tokens (the last one may not be in the cache yet).
+    outputs: List[int] = dataclasses.field(default_factory=list)
+    #: prompt positions already prefilled into the cache.
+    prefilled: int = 0
+    #: last sampled token, not yet fed through a decode step.
+    pending_token: Optional[int] = None
+    #: consecutive offload-degraded tokens (resets on a healthy one).
+    consecutive_degraded: int = 0
+    #: pinned to the dense sliding-window fallback (shed-in-place).
+    pinned_dense: bool = False
+    #: prompt length the *timing model* charges for (paper-scale), letting
+    #: a laptop-scale functional prompt stand in for a long-context one;
+    #: ``None`` charges the actual prompt length.
+    charged_prompt_tokens: Optional[int] = None
+    #: analytic prefill seconds accrued so far (overlapped with decode).
+    prefill_charge_s: float = 0.0
+    #: engine clock at which decode may begin (charged prefill complete;
+    #: prefill overlaps the running batch, as in the analytic simulator).
+    ready_s: float = 0.0
+    events: RequestEvents = None  # filled in __post_init__
+    # engine-owned handles (cache/backend), opaque to the scheduler
+    cache: object = None
+    backend: object = None
+
+    def __post_init__(self) -> None:
+        self.prompt = np.asarray(self.prompt)
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.events is None:
+            self.events = RequestEvents(request_id=self.request_id,
+                                        arrival_s=self.arrival_s)
+
+    @property
+    def context(self) -> int:
+        """Current context length (prompt + generated so far)."""
+        return len(self.prompt) + len(self.outputs)
+
+    @property
+    def charged_context(self) -> int:
+        """Context length as seen by the analytic timing model."""
+        base = self.charged_prompt_tokens if self.charged_prompt_tokens \
+            is not None else len(self.prompt)
+        return base + len(self.outputs)
+
+    @property
+    def done(self) -> bool:
+        return self.state in (RequestState.DONE, RequestState.SHED)
+
+    @property
+    def resume_tokens(self) -> np.ndarray:
+        """Tokens to re-prefill on (re-)admission.
+
+        Fresh requests: the whole prompt.  Preempted requests: prompt plus
+        every generated token except the pending one, which is replayed
+        through a real decode step so the resumed trajectory stays
+        bit-identical to an uninterrupted run.
+        """
+        if not self.outputs:
+            return self.prompt
+        return np.concatenate(
+            [self.prompt, np.asarray(self.outputs[:-1], dtype=np.int64)])
+
+
+@dataclasses.dataclass
+class StepPlan:
+    """What the engine should execute this step."""
+
+    prefills: List[ServeRequest]   # advance each by <= prefill_chunk tokens
+    decodes: List[ServeRequest]    # one decode token each
+
+    @property
+    def empty(self) -> bool:
+        return not self.prefills and not self.decodes
+
+
+class ContinuousBatchScheduler:
+    """Admission, batch assembly, and preemption over one paged pool."""
+
+    def __init__(self, pool: PagedKVPool,
+                 policy: Optional[SloPolicy] = None) -> None:
+        self.pool = pool
+        self.policy = policy or SloPolicy()
+        self.queued: List[ServeRequest] = []
+        self.running: List[ServeRequest] = []   # PREFILL or DECODE
+        self.finished: List[ServeRequest] = []
+        self.preemptions = 0
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> None:
+        """Enqueue an arrived request (FIFO by arrival, id tie-break)."""
+        self.queued.append(request)
+        self.queued.sort(key=lambda r: (r.arrival_s, r.request_id))
+
+    @property
+    def all_done(self) -> bool:
+        return not self.queued and not self.running
+
+    # -- admission ------------------------------------------------------------
+
+    def _session_blocks(self, request: ServeRequest) -> int:
+        """Worst-case block demand of a request (prompt + full output)."""
+        return self.pool.blocks_for_tokens(
+            len(request.prompt) + request.max_new_tokens)
+
+    def _prompt_blocks(self, request: ServeRequest) -> int:
+        """Blocks the prefill phase will claim (what admission must fit)."""
+        return self.pool.blocks_for_tokens(len(request.resume_tokens))
+
+    def _reserved_blocks(self) -> int:
+        """Prompt blocks promised to running prefills but not yet claimed.
+
+        Block allocation is lazy (the engine grows caches chunk by chunk),
+        so admission must count what admitted-but-unclaimed prefills will
+        take, or one free-list snapshot would over-admit.
+        """
+        reserved = 0
+        for request in self.running:
+            if request.state is RequestState.PREFILL:
+                held = getattr(request.cache, "n_blocks", 0) or 0
+                reserved += max(0, self._prompt_blocks(request) - held)
+        return reserved
+
+    def admit(self, now: float) -> List[ServeRequest]:
+        """Admit queue-head requests while capacity and SLO allow.
+
+        Admission is *optimistic*, vLLM-style: a request is admitted when
+        its **prompt** fits the free list (net of blocks promised to other
+        running prefills) — decode growth is not reserved up front, and a
+        later shortfall is preemption's job.  A request whose queueing
+        delay already exceeds ``queue_timeout_s`` is shed (rejected)
+        instead of admitted — serving it would blow its TTFT SLO *and*
+        steal capacity from requests that can still meet theirs.  A
+        request that cannot fit even into an empty pool is shed
+        immediately (it could otherwise clog the queue head forever).
+        """
+        policy = self.policy
+        admitted = []
+        reserved = self._reserved_blocks()
+        while self.queued:
+            head = self.queued[0]
+            if policy.queue_timeout_s is not None \
+                    and now - head.arrival_s > policy.queue_timeout_s:
+                self.queued.pop(0)
+                self._reject(head)
+                continue
+            if self._session_blocks(head) > self.pool.n_blocks:
+                self.queued.pop(0)
+                self._reject(head)
+                continue
+            need = self._prompt_blocks(head)
+            # Headroom protects the growth of *running* sessions; an idle
+            # system admits whenever the request fits at all (no livelock).
+            headroom = policy.admission_headroom_blocks if self.running else 0
+            if need + reserved + headroom > self.pool.n_free:
+                break
+            reserved += need
+            self.queued.pop(0)
+            head.state = RequestState.PREFILL
+            head.prefilled = 0
+            if head.events.admitted_s is None:
+                head.events.admitted_s = now
+            self.running.append(head)
+            admitted.append(head)
+        return admitted
+
+    def _reject(self, request: ServeRequest) -> None:
+        request.state = RequestState.SHED
+        request.events.rejected = True
+        request.events.shed = True
+        self.finished.append(request)
+
+    # -- step assembly --------------------------------------------------------
+
+    def assemble(self) -> StepPlan:
+        """Pick this step's prefill chunk(s) and decode batch.
+
+        Decode-first continuous batching: every DECODE session (up to
+        ``max_decode_batch``, oldest admitted first) generates one token
+        this step; up to ``max_prefills_per_step`` PREFILL sessions
+        advance one chunk alongside, so prompt streaming never stalls the
+        token clock of running sessions.
+        """
+        decodes = [r for r in self.running
+                   if r.state is RequestState.DECODE]
+        decodes = decodes[: self.policy.max_decode_batch]
+        prefills = [r for r in self.running
+                    if r.state is RequestState.PREFILL]
+        prefills = prefills[: self.policy.max_prefills_per_step]
+        return StepPlan(prefills=prefills, decodes=decodes)
+
+    # -- transitions (driven by the engine) -----------------------------------
+
+    def prefill_complete(self, request: ServeRequest) -> None:
+        request.state = RequestState.DECODE
+
+    def request_finished(self, request: ServeRequest, now: float) -> None:
+        """Completion: release blocks, record timestamps, retire."""
+        request.state = RequestState.SHED if request.pinned_dense \
+            else RequestState.DONE
+        request.events.finished_s = now
+        request.events.shed = request.pinned_dense
+        if request.cache is not None:
+            request.cache.free()
+            request.cache = None
+        request.backend = None
+        self.running.remove(request)
+        self.finished.append(request)
+
+    def note_degraded(self, request: ServeRequest, degraded: bool) -> None:
+        """Track a token's offload health; pin after the budget is spent.
+
+        A pinned session *falls to the dense window without stalling the
+        batch*: it stays in DECODE (tokens keep flowing every step) but is
+        excluded from the sparse/offload path by the engine's timing and
+        backend handling, and retires as SHED.
+        """
+        if degraded:
+            request.events.degraded_tokens += 1
+            request.consecutive_degraded += 1
+            if not request.pinned_dense and request.consecutive_degraded \
+                    >= self.policy.shed_after_consecutive_degraded:
+                request.pinned_dense = True
+        else:
+            request.consecutive_degraded = 0
+
+    # -- preemption -----------------------------------------------------------
+
+    def preempt_victim(self, needy: ServeRequest) -> Optional[ServeRequest]:
+        """Pick and preempt a session so ``needy`` can grow.
+
+        Victim: the *youngest admitted* running session other than
+        ``needy`` (LIFO preemption preserves the FIFO fairness of the
+        queue: the request that joined last loses its slot first).  The
+        victim's blocks return to the pool and it re-enters the queue
+        head-of-line for its original arrival order.  Returns the victim,
+        or ``None`` when ``needy`` is the only running session (the caller
+        must then shed or wait).
+        """
+        candidates = [r for r in self.running if r is not needy]
+        if not candidates:
+            return None
+        victim = max(candidates,
+                     key=lambda r: (r.events.admitted_s, r.request_id))
+        self.running.remove(victim)
+        victim.cache.free()
+        victim.cache = None
+        victim.backend = None
+        victim.state = RequestState.QUEUED
+        victim.prefilled = 0
+        victim.prefill_charge_s = 0.0
+        victim.ready_s = 0.0
+        victim.events.preemptions += 1
+        self.preemptions += 1
+        self.submit(victim)
+        return victim

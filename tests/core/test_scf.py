@@ -16,7 +16,11 @@ from repro.core.scf import (
     sign_pm1,
 )
 
-vec_elements = st.floats(min_value=-10, max_value=10, allow_nan=False)
+# Subnormals are excluded because sign-concordance treats zero as positive:
+# a negative subnormal scaled by < 1 can underflow to -0.0 and legitimately
+# flip its sign class, so scale invariance only holds over normal floats.
+vec_elements = st.floats(min_value=-10, max_value=10, allow_nan=False,
+                         allow_subnormal=False)
 
 
 def vectors(n, d):

@@ -204,3 +204,60 @@ class TestWindowSplit:
     def test_len_tracks_tokens(self, rng):
         cache = self._filled(rng, 13)
         assert len(cache) == 13
+
+
+class TestFree:
+    """Session-release path used by the serving engine (repro.serve)."""
+
+    def test_layer_free_releases_and_blocks_append(self, rng):
+        layer = LayerKV(2, 8, initial_capacity=16)
+        k, v = _kv(rng, 5)
+        layer.append(k, v)
+        layer.free()
+        assert layer.freed
+        assert len(layer) == 0
+        with pytest.raises(RuntimeError):
+            layer.append(k, v)
+        with pytest.raises(RuntimeError):
+            layer.reserve(10)
+
+    def test_layer_free_is_idempotent(self, rng):
+        layer = LayerKV(2, 8)
+        k, v = _kv(rng, 3)
+        layer.append(k, v)
+        layer.free()
+        layer.free()
+        assert layer.freed
+
+    def test_cache_free_covers_all_layers(self, rng):
+        cache = KVCache(TINY)
+        for layer in range(TINY.n_layers):
+            k, v = _kv(rng, 6, TINY.n_kv_heads, TINY.head_dim)
+            cache.append(layer, k, v)
+        assert not cache.freed
+        cache.free()
+        assert cache.freed
+        assert all(layer.freed for layer in cache.layers)
+        with pytest.raises(RuntimeError):
+            cache.append(0, k, v)
+
+    def test_free_with_sign_cache_enabled(self, rng):
+        cache = KVCache(TINY)
+        cache.enable_sign_cache()
+        for layer in range(TINY.n_layers):
+            k, v = _kv(rng, 6, TINY.n_kv_heads, TINY.head_dim)
+            cache.append(layer, k, v)
+        cache.free()
+        assert cache.freed
+
+    def test_admit_complete_churn(self, rng):
+        """Regression for the serving engine's admit/complete cycle: many
+        sessions created and freed in turn never interfere."""
+        for _ in range(5):
+            cache = KVCache(TINY)
+            for layer in range(TINY.n_layers):
+                k, v = _kv(rng, 9, TINY.n_kv_heads, TINY.head_dim)
+                cache.append(layer, k, v)
+            assert len(cache) == 9
+            cache.free()
+            assert cache.freed

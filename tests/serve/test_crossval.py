@@ -1,0 +1,93 @@
+"""Cross-validation: the functional engine must agree with the analytic
+serving simulator on *which system wins and by how much* (satellite c).
+
+The two layers share nothing but the latency models and the arrival
+trace, so agreement here ties the token-level serving implementation to
+the paper's analytic claims: LongSight out-throughputs the quality-equal
+dense baseline at long context, and the gap closes toward the crossover
+as context shrinks.
+"""
+
+import pytest
+
+from repro.core.config import LongSightConfig
+from repro.llm.config import LLAMA3_8B
+from repro.llm.model import Transformer
+from repro.serve.crossval import (SYSTEM_NAMES, cross_validate,
+                                  default_systems, paired_workload)
+from tests.conftest import TINY
+
+LS = LongSightConfig(window=8, n_sink=4, top_k=12, thresholds=3)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Transformer(TINY, seed=0)
+
+
+@pytest.fixture(scope="module")
+def long_context(model):
+    return cross_validate(model, LLAMA3_8B, LS, n_requests=5,
+                          prompt_tokens=24, charged_prompt_tokens=65_536,
+                          output_tokens=10, pool_blocks=128, seed=0)
+
+
+class TestOrderingAgreement:
+    def test_rankings_match_at_long_context(self, long_context):
+        assert long_context.orderings_agree, (
+            long_context.functional_ranking,
+            long_context.analytic_ranking)
+
+    def test_longsight_beats_dense_at_long_context(self, long_context):
+        assert long_context.speedup("longsight", "dense") > 1.2
+        assert long_context.speedup("longsight", "dense",
+                                    layer="analytic") > 1.2
+
+    def test_sliding_window_is_the_floor(self, long_context):
+        """The quality-sacrificing baseline is fastest by construction in
+        both layers — LongSight approaches it, never beats it."""
+        assert long_context.functional_ranking[0] == "sliding_window"
+        assert long_context.analytic_ranking[0] == "sliding_window"
+
+    def test_functional_tracks_analytic_magnitude(self, long_context):
+        """Beyond ordering: the functional LongSight/dense ratio should be
+        within ~25% of the analytic one on the same trace."""
+        functional = long_context.speedup("longsight", "dense")
+        analytic = long_context.speedup("longsight", "dense",
+                                        layer="analytic")
+        assert functional == pytest.approx(analytic, rel=0.25)
+
+
+class TestCrossoverDirection:
+    def test_gap_shrinks_at_short_context(self, model, long_context):
+        short = cross_validate(model, LLAMA3_8B, LS, n_requests=5,
+                               prompt_tokens=24,
+                               charged_prompt_tokens=8_192,
+                               output_tokens=10, pool_blocks=128, seed=0)
+        gap_short = short.speedup("longsight", "dense")
+        gap_long = long_context.speedup("longsight", "dense")
+        assert gap_short < gap_long  # crossover direction
+        # the analytic layer shows the same direction
+        assert short.speedup("longsight", "dense", layer="analytic") \
+            < long_context.speedup("longsight", "dense", layer="analytic")
+
+
+class TestPairedWorkload:
+    def test_layers_see_identical_traces(self):
+        requests, sessions = paired_workload(
+            n_requests=7, arrival_rate_per_s=3.0, prompt_tokens=20,
+            output_tokens=5, vocab_size=TINY.vocab_size,
+            charged_prompt_tokens=32_768, seed=1)
+        assert len(requests) == len(sessions) == 7
+        for request, session in zip(requests, sessions):
+            assert request.arrival_s == session.arrival_s
+            assert request.charged_prompt_tokens == session.prompt_tokens
+            assert request.max_new_tokens == session.output_tokens
+            # functional prompts are laptop scale, charged paper scale
+            assert len(request.prompt) < session.prompt_tokens
+
+    def test_default_systems_cover_the_cast(self):
+        systems = default_systems()
+        assert set(SYSTEM_NAMES) <= set(systems)
+        for system in systems.values():
+            assert hasattr(system, "step_latency_s")

@@ -1,0 +1,200 @@
+"""Paged KV pool: block accounting, gather parity, and reuse under churn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PoolExhaustedError
+from repro.llm.kv_cache import KVCache
+from repro.serve.paged_kv import PagedKVPool
+from tests.conftest import TINY
+
+
+@pytest.fixture
+def pool():
+    return PagedKVPool(TINY, n_blocks=8, block_tokens=4)
+
+
+def _kv(rng, n, heads=TINY.n_kv_heads, dim=TINY.head_dim):
+    return (rng.normal(size=(heads, n, dim)).astype(np.float32),
+            rng.normal(size=(heads, n, dim)).astype(np.float32))
+
+
+class TestPoolAccounting:
+    def test_starts_fully_free(self, pool):
+        assert pool.n_free == 8
+        assert pool.n_used == 0
+
+    def test_blocks_for_tokens_rounds_up(self, pool):
+        assert pool.blocks_for_tokens(0) == 0
+        assert pool.blocks_for_tokens(1) == 1
+        assert pool.blocks_for_tokens(4) == 1
+        assert pool.blocks_for_tokens(5) == 2
+
+    def test_allocate_release_roundtrip(self, pool):
+        blocks = pool.allocate(3)
+        assert pool.n_used == 3
+        pool.release(blocks)
+        assert pool.n_free == 8
+        assert pool.total_allocated == 3
+        assert pool.total_released == 3
+
+    def test_exhaustion_is_all_or_nothing(self, pool):
+        pool.allocate(6)
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate(3)
+        # the failed request must not have consumed any of the 2 left
+        assert pool.n_free == 2
+
+    def test_double_free_rejected(self, pool):
+        blocks = pool.allocate(2)
+        pool.release(blocks)
+        with pytest.raises(ValueError):
+            pool.release(blocks)
+
+    def test_out_of_range_block_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.release([99])
+
+    def test_lifo_reuse(self, pool):
+        first = pool.allocate(2)
+        pool.release(first)
+        again = pool.allocate(2)
+        # most recently released blocks come back first (hot rows)
+        assert set(again) == set(first)
+
+    def test_high_watermark_tracks_peak(self, pool):
+        a = pool.allocate(5)
+        pool.release(a)
+        pool.allocate(2)
+        assert pool.high_watermark == 5
+
+
+class TestGatherParity:
+    """A paged session must read back exactly what a private cache would."""
+
+    def test_keys_values_match_kv_cache(self, rng):
+        pool = PagedKVPool(TINY, n_blocks=16, block_tokens=4)
+        paged, plain = pool.new_cache(), KVCache(TINY)
+        for n in (3, 4, 9, 1):
+            for layer in range(TINY.n_layers):
+                k, v = _kv(rng, n)
+                paged.append(layer, k, v)
+                plain.append(layer, k, v)
+        for layer in range(TINY.n_layers):
+            np.testing.assert_array_equal(paged.layers[layer].keys,
+                                          plain.layers[layer].keys)
+            np.testing.assert_array_equal(paged.layers[layer].values,
+                                          plain.layers[layer].values)
+
+    def test_packed_signs_match_kv_cache(self, rng):
+        pool = PagedKVPool(TINY, n_blocks=16, block_tokens=4)
+        paged, plain = pool.new_cache(), KVCache(TINY)
+        paged.enable_sign_cache()
+        plain.enable_sign_cache()
+        for n in (5, 2, 8):
+            for layer in range(TINY.n_layers):
+                k, v = _kv(rng, n)
+                paged.append(layer, k, v)
+                plain.append(layer, k, v)
+        for layer in range(TINY.n_layers):
+            np.testing.assert_array_equal(paged.layers[layer].packed_signs,
+                                          plain.layers[layer].packed_signs)
+
+    def test_enable_sign_cache_packs_backlog(self, rng):
+        pool = PagedKVPool(TINY, n_blocks=16, block_tokens=4)
+        paged, plain = pool.new_cache(), KVCache(TINY)
+        for layer in range(TINY.n_layers):
+            k, v = _kv(rng, 7)
+            paged.append(layer, k, v)
+            plain.append(layer, k, v)
+        paged.enable_sign_cache()
+        plain.enable_sign_cache()
+        for layer in range(TINY.n_layers):
+            np.testing.assert_array_equal(paged.layers[layer].packed_signs,
+                                          plain.layers[layer].packed_signs)
+
+    def test_views_match_kv_cache(self, rng):
+        pool = PagedKVPool(TINY, n_blocks=16, block_tokens=4)
+        paged, plain = pool.new_cache(), KVCache(TINY)
+        for layer in range(TINY.n_layers):
+            k, v = _kv(rng, 30)
+            paged.append(layer, k, v)
+            plain.append(layer, k, v)
+        for view in ("window_view", "offloaded_view"):
+            pk, pv, ppos = getattr(paged, view)(0, window=8, n_sink=4)
+            ck, cv, cpos = getattr(plain, view)(0, window=8, n_sink=4)
+            np.testing.assert_array_equal(pk, ck)
+            np.testing.assert_array_equal(pv, cv)
+            np.testing.assert_array_equal(ppos, cpos)
+
+    def test_interleaved_sessions_stay_logically_ordered(self, rng):
+        """Two sessions growing turn-by-turn get interleaved (non-contiguous)
+        blocks, yet each reads back its own tokens in logical order."""
+        pool = PagedKVPool(TINY, n_blocks=8, block_tokens=2)
+        a, b = pool.new_cache(), pool.new_cache()
+        a_chunks, b_chunks = [], []
+        for _ in range(3):
+            ka, va = _kv(rng, 2)
+            kb, vb = _kv(rng, 2)
+            a.append(0, ka, va)
+            b.append(0, kb, vb)
+            a_chunks.append(ka)
+            b_chunks.append(kb)
+        assert not a.contiguous or not b.contiguous
+        np.testing.assert_array_equal(
+            a.layers[0].keys, np.concatenate(a_chunks, axis=1))
+        np.testing.assert_array_equal(
+            b.layers[0].keys, np.concatenate(b_chunks, axis=1))
+
+
+class TestSessionLifecycle:
+    def test_free_returns_blocks_and_is_idempotent(self, rng):
+        pool = PagedKVPool(TINY, n_blocks=8, block_tokens=4)
+        cache = pool.new_cache()
+        k, v = _kv(rng, 10)
+        for layer in range(TINY.n_layers):
+            cache.append(layer, k, v)
+        assert pool.n_used == 3
+        cache.free()
+        assert pool.n_free == 8
+        assert cache.freed
+        cache.free()  # idempotent
+        assert pool.n_free == 8
+
+    def test_append_after_free_raises(self, rng):
+        pool = PagedKVPool(TINY, n_blocks=8, block_tokens=4)
+        cache = pool.new_cache()
+        cache.free()
+        k, v = _kv(rng, 1)
+        with pytest.raises(RuntimeError):
+            cache.append(0, k, v)
+
+    def test_failed_growth_preserves_existing_blocks(self, rng):
+        pool = PagedKVPool(TINY, n_blocks=4, block_tokens=4)
+        cache = pool.new_cache()
+        k, v = _kv(rng, 8)
+        for layer in range(TINY.n_layers):
+            cache.append(layer, k, v)
+        held = cache.n_blocks
+        with pytest.raises(PoolExhaustedError):
+            cache.ensure_tokens(100)
+        assert cache.n_blocks == held
+        np.testing.assert_array_equal(cache.layers[0].keys, k)
+
+    def test_admit_complete_churn_reuses_blocks(self, rng):
+        """Regression: block free/reuse under admission/completion churn —
+        the pool must neither leak nor grow its high watermark once
+        steady-state reuse kicks in."""
+        pool = PagedKVPool(TINY, n_blocks=6, block_tokens=4)
+        for round_ in range(10):
+            live = [pool.new_cache() for _ in range(3)]
+            for cache in live:
+                k, v = _kv(rng, 7)
+                for layer in range(TINY.n_layers):
+                    cache.append(layer, k, v)
+            assert pool.n_used == 6
+            for cache in live:
+                cache.free()
+            assert pool.n_free == 6
+        assert pool.high_watermark == 6
+        assert pool.total_allocated == pool.total_released == 60

@@ -1,0 +1,182 @@
+"""Scheduler policy unit tests: admission, assembly, degradation, preemption.
+
+The scheduler is model-free by design, so these tests drive it directly
+with synthetic requests and a small pool — no transformer involved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.paged_kv import PagedKVPool
+from repro.serve.scheduler import (ContinuousBatchScheduler, RequestState,
+                                   ServeRequest, SloPolicy)
+from tests.conftest import TINY
+
+
+def _request(i, prompt_tokens=8, max_new=4, arrival=0.0):
+    return ServeRequest(request_id=i,
+                        prompt=np.zeros(prompt_tokens, dtype=np.int64),
+                        max_new_tokens=max_new, arrival_s=arrival)
+
+
+def _scheduler(n_blocks=8, block_tokens=4, **policy):
+    pool = PagedKVPool(TINY, n_blocks=n_blocks, block_tokens=block_tokens)
+    return ContinuousBatchScheduler(pool, SloPolicy(**policy)), pool
+
+
+class TestAdmission:
+    def test_fifo_by_arrival(self):
+        sched, _ = _scheduler()
+        sched.submit(_request(1, arrival=2.0))
+        sched.submit(_request(0, arrival=1.0))
+        admitted = sched.admit(now=3.0)
+        assert [r.request_id for r in admitted] == [0, 1]
+        assert all(r.state is RequestState.PREFILL for r in admitted)
+        assert all(r.events.admitted_s == 3.0 for r in admitted)
+
+    def test_capacity_bounds_admission(self):
+        # each prompt needs ceil(16/4) = 4 blocks; pool holds 8 -> 2 fit,
+        # cumulatively within one admit() call (lazy allocation must not
+        # let one free-list snapshot over-admit)
+        sched, _ = _scheduler(n_blocks=8)
+        for i in range(4):
+            sched.submit(_request(i, prompt_tokens=16))
+        admitted = sched.admit(now=0.0)
+        assert len(admitted) == 2
+        assert len(sched.queued) == 2
+
+    def test_queue_timeout_sheds_stale_requests(self):
+        sched, _ = _scheduler(queue_timeout_s=1.0)
+        sched.submit(_request(0, arrival=0.0))
+        sched.submit(_request(1, arrival=5.0))
+        admitted = sched.admit(now=5.5)
+        assert [r.request_id for r in admitted] == [1]
+        stale = sched.finished[0]
+        assert stale.request_id == 0
+        assert stale.events.rejected and stale.events.shed
+
+    def test_impossible_fit_rejected_not_stuck(self):
+        sched, pool = _scheduler(n_blocks=2)
+        sched.submit(_request(0, prompt_tokens=100))  # can never fit
+        sched.submit(_request(1, prompt_tokens=4, arrival=0.1))
+        admitted = sched.admit(now=0.5)
+        # the impossible head was shed instead of clogging the queue
+        assert [r.request_id for r in admitted] == [1]
+        assert sched.finished[0].events.rejected
+
+    def test_headroom_only_binds_when_running(self):
+        sched, _ = _scheduler(n_blocks=3, admission_headroom_blocks=2)
+        sched.submit(_request(0))  # needs 3 blocks == whole pool
+        # idle system: headroom waived, the request is admitted
+        assert len(sched.admit(now=0.0)) == 1
+        sched.running[0].cache = sched.pool.new_cache()
+        sched.submit(_request(1))
+        # busy system: 0 free < need + headroom -> wait, not shed
+        assert sched.admit(now=0.0) == []
+        assert len(sched.queued) == 1
+
+
+class TestAssembly:
+    def test_decode_first_with_caps(self):
+        sched, _ = _scheduler(n_blocks=64, max_decode_batch=2,
+                              max_prefills_per_step=1)
+        requests = [_request(i, arrival=i * 0.1) for i in range(5)]
+        for r in requests:
+            sched.submit(r)
+        sched.admit(now=1.0)
+        for r in requests[:3]:
+            r.state = RequestState.DECODE
+        plan = sched.assemble()
+        assert [r.request_id for r in plan.decodes] == [0, 1]
+        assert [r.request_id for r in plan.prefills] == [3]
+
+    def test_empty_plan_when_idle(self):
+        sched, _ = _scheduler()
+        assert sched.assemble().empty
+
+
+class TestDegradation:
+    def test_pins_after_consecutive_budget(self):
+        sched, _ = _scheduler(shed_after_consecutive_degraded=3)
+        request = _request(0)
+        for _ in range(2):
+            sched.note_degraded(request, True)
+        assert not request.pinned_dense
+        sched.note_degraded(request, False)  # healthy token resets
+        assert request.consecutive_degraded == 0
+        for _ in range(3):
+            sched.note_degraded(request, True)
+        assert request.pinned_dense
+        assert request.events.degraded_tokens == 5
+
+    def test_pinned_session_retires_as_shed_with_output(self):
+        sched, pool = _scheduler()
+        request = _request(0)
+        sched.submit(request)
+        sched.admit(now=0.0)
+        request.cache = pool.new_cache()
+        request.pinned_dense = True
+        sched.request_finished(request, now=1.0)
+        assert request.state is RequestState.SHED
+        assert request.events.shed
+        assert request.events.finished_s == 1.0
+        assert pool.n_free == pool.n_blocks
+
+
+class TestPreemption:
+    def _running_pair(self):
+        sched, pool = _scheduler(n_blocks=8)
+        old = _request(0, arrival=0.0)
+        young = _request(1, arrival=1.0)
+        for r in (old, young):
+            sched.submit(r)
+        sched.admit(now=0.0)
+        sched.admit(now=1.0)
+        for r in (old, young):
+            r.cache = pool.new_cache()
+            r.cache.ensure_tokens(8)
+        return sched, pool, old, young
+
+    def test_victim_is_youngest_admitted(self):
+        sched, pool, old, young = self._running_pair()
+        victim = sched.preempt_victim(needy=old)
+        assert victim is young
+        assert young.state is RequestState.QUEUED
+        assert young.cache is None
+        assert young.events.preemptions == 1
+        assert sched.preemptions == 1
+        # victim's blocks are back (only old's 2 blocks remain held)
+        assert pool.n_used == 2
+        # and it re-enters the queue for fair re-admission
+        assert sched.queued == [young]
+
+    def test_no_victim_when_alone(self):
+        sched, pool = _scheduler()
+        lone = _request(0)
+        sched.submit(lone)
+        sched.admit(now=0.0)
+        lone.cache = pool.new_cache()
+        assert sched.preempt_victim(needy=lone) is None
+
+    def test_resume_tokens_replay_discipline(self):
+        """A preempted request re-prefills prompt + outputs[:-1] and keeps
+        the last sampled token pending for a true decode step."""
+        request = _request(0, prompt_tokens=4)
+        np.testing.assert_array_equal(request.resume_tokens, request.prompt)
+        request.outputs = [7, 9, 11]
+        resumed = request.resume_tokens
+        np.testing.assert_array_equal(resumed[:4], request.prompt)
+        np.testing.assert_array_equal(resumed[4:], [7, 9])
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_decode_batch": 0},
+        {"prefill_chunk": 0},
+        {"max_prefills_per_step": 0},
+        {"admission_headroom_blocks": -1},
+        {"shed_after_consecutive_degraded": 0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SloPolicy(**kwargs)
