@@ -28,12 +28,14 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.tables import Table, results_dir
 from repro.core.config import LongSightConfig
 from repro.llm.config import LLAMA3_8B, ModelConfig
 from repro.llm.model import Transformer
+from repro.obs import MetricsRegistry, Obs, Tracer
 from repro.serve.crossval import (SYSTEM_NAMES, backend_factory,
                                   default_systems, paired_workload)
 from repro.serve.engine import AnalyticTiming, ServeEngine
@@ -55,7 +57,8 @@ TINY_LS = LongSightConfig(window=8, n_sink=4, top_k=12, thresholds=3)
 
 def _point(model: Transformer, system_name: str, system,
            rate: float, charged_context: int, n_requests: int,
-           prompt_tokens: int, output_tokens: int, seed: int) -> dict:
+           prompt_tokens: int, output_tokens: int, seed: int,
+           obs: Optional[Obs] = None) -> dict:
     """One (system, arrival rate, context) cell of the sweep."""
     requests, sessions = paired_workload(
         n_requests, rate, prompt_tokens, output_tokens,
@@ -67,8 +70,8 @@ def _point(model: Transformer, system_name: str, system,
     engine = ServeEngine(
         model, pool, backend_factory(system_name, TINY_LS),
         policy=SloPolicy(max_decode_batch=max(4, n_requests)),
-        timing=AnalyticTiming(system, LLAMA3_8B, prefill=prefill),
-        name=system_name)
+        timing=AnalyticTiming(system, LLAMA3_8B, prefill=prefill, obs=obs),
+        name=system_name, obs=obs)
     report = engine.run(requests)
     analytic = ServingSimulator(system, LLAMA3_8B, max_steps=100_000,
                                 prefill=prefill).run(sessions)
@@ -84,11 +87,41 @@ def _point(model: Transformer, system_name: str, system,
     return point
 
 
+def write_trace(model: Transformer, systems: dict, rate: float,
+                charged_context: int, n_requests: int, prompt_tokens: int,
+                output_tokens: int, seed: int,
+                trace_out: pathlib.Path) -> dict:
+    """Re-run one fully instrumented ``longsight`` point; dump the trace.
+
+    A fresh enabled :class:`Tracer` is bound to the engine, the whole
+    point runs under a single ``bench.serve_point`` root span, and the
+    result is written as Chrome ``trace_event`` JSON (open in
+    ``chrome://tracing`` or Perfetto).  Returns trace metadata including
+    ``root_coverage`` — the fraction of the instrumented wall time the
+    recorded spans explain, which must stay >= 0.95.
+    """
+    obs = Obs(MetricsRegistry(enabled=True), Tracer(enabled=True))
+    start = time.perf_counter()
+    with obs.tracer.span("bench.serve_point", system="longsight",
+                         arrival_rate_per_s=rate,
+                         charged_context=charged_context):
+        _point(model, "longsight", systems["longsight"], rate,
+               charged_context, n_requests, prompt_tokens, output_tokens,
+               seed, obs=obs)
+    wall_s = time.perf_counter() - start
+    path = obs.tracer.write_chrome_trace(trace_out)
+    return {"path": str(path),
+            "n_spans": len(obs.tracer.spans),
+            "wall_s": wall_s,
+            "root_coverage": obs.tracer.root_coverage(wall_s)}
+
+
 def run_serve(rates: Sequence[float] = (2.0, 200.0),
               contexts: Sequence[int] = (8_192, 32_768, 131_072),
               n_requests: int = 6, prompt_tokens: int = 24,
               output_tokens: int = 8, seed: int = 0,
-              out_dir: Optional[pathlib.Path] = None) -> Table:
+              out_dir: Optional[pathlib.Path] = None,
+              trace_out: Optional[pathlib.Path] = None) -> Table:
     """Run the serving sweep; returns the table and writes the JSON."""
     rates = sorted(set(float(r) for r in rates))
     contexts = sorted(set(int(c) for c in contexts))
@@ -128,6 +161,13 @@ def run_serve(rates: Sequence[float] = (2.0, 200.0),
         "contexts": contexts,
         "sweep": sweep,
     }
+    if trace_out is not None:
+        payload["trace"] = write_trace(
+            model, systems, rates[0], contexts[0], n_requests,
+            prompt_tokens, output_tokens, seed, pathlib.Path(trace_out))
+        print(f"[chrome trace: {payload['trace']['path']}  "
+              f"spans={payload['trace']['n_spans']}  "
+              f"root_coverage={payload['trace']['root_coverage']:.3f}]")
     out_dir = pathlib.Path(out_dir) if out_dir is not None else results_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / RESULT_NAME).write_text(json.dumps(payload, indent=2) + "\n")
@@ -220,12 +260,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--out-dir", type=pathlib.Path, default=None,
                         help=f"directory for {RESULT_NAME} "
                              "(default: results/)")
+    parser.add_argument("--trace-out", type=pathlib.Path, default=None,
+                        help="also run one fully traced longsight point "
+                             "and write a Chrome trace_event JSON here")
     args = parser.parse_args(argv)
     table = run_serve(rates=args.rates, contexts=args.contexts,
                       n_requests=args.n_requests,
                       prompt_tokens=args.prompt_tokens,
                       output_tokens=args.output_tokens, seed=args.seed,
-                      out_dir=args.out_dir)
+                      out_dir=args.out_dir, trace_out=args.trace_out)
     print(table.render())
     out_dir = args.out_dir if args.out_dir is not None else results_dir()
     print(f"[saved to {pathlib.Path(out_dir) / RESULT_NAME}]")

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.config import LongSightConfig
 from repro.core.itq import ItqRotations
 from repro.core.metrics import FilterStats
+from repro.obs import Obs, resolve_obs
 from repro.core.scf import (concordance, concordance_from_signs,
                             concordance_packed_many, pack_signs, sign_pm1,
                             unpack_signs_pm1)
@@ -53,6 +54,30 @@ if TYPE_CHECKING:
 #: one BLAS sign-matmul per head, sharing a single key-sign extraction (or
 #: the unpacked sign store) across each GQA group.
 _PACKED_CONC_MAX_NEW = 32
+
+#: Filter-ratio histogram edges: log-spaced 1x..1000x savings.
+_RATIO_EDGES = tuple(float(e) for e in np.geomspace(1.0, 1000.0, 31))
+
+
+def _record_split(metrics, queries: int, dense_accesses: int,
+                  candidates: int, passed: int, selected: int) -> None:
+    """Record one forward's dense-window vs. sparse-topk access split.
+
+    ``filter_ratio`` follows the paper's definition over the sparse
+    region (see :mod:`repro.core.metrics`): dense baseline accesses
+    ``2N`` vs. ``N_pass + 2 k_ret`` after filtering — one histogram
+    sample per instrumented forward ("per step" at decode time).
+    """
+    metrics.counter("attention.forwards").inc()
+    metrics.counter("attention.queries").inc(queries)
+    metrics.counter("attention.dense.accesses").inc(dense_accesses)
+    metrics.counter("attention.sparse.candidates").inc(candidates)
+    metrics.counter("attention.sparse.passed").inc(passed)
+    metrics.counter("attention.sparse.selected").inc(selected)
+    if candidates:
+        ratio = 2.0 * candidates / max(passed + 2.0 * selected, 1e-12)
+        metrics.histogram("attention.filter_ratio",
+                          edges=_RATIO_EDGES).observe(ratio)
 
 
 def _region_masks(q_positions: np.ndarray, n_ctx: int, n_sink: int,
@@ -89,6 +114,9 @@ class LongSightAttention:
             into (callers typically reset it between measurements).
         use_fast_path: run the head-batched/packed implementation (default);
             ``False`` selects the per-head reference loop.
+        obs: observability bundle; ``None`` binds the process-global
+            default (metrics on, tracing off).  Metrics never change the
+            computation — outputs are bit-identical either way.
 
     The backend is stateless across calls apart from ``stats`` and the
     optional ``selection_capture`` debug dict: when set to a dictionary,
@@ -100,13 +128,15 @@ class LongSightAttention:
     def __init__(self, config: LongSightConfig,
                  rotations: Optional[ItqRotations] = None,
                  stats: Optional[FilterStats] = None,
-                 use_fast_path: bool = True) -> None:
+                 use_fast_path: bool = True,
+                 obs: Optional[Obs] = None) -> None:
         if config.use_itq and rotations is None:
             raise ValueError("use_itq requires an ItqRotations bank")
         self.config = config
         self.rotations = rotations
         self.stats = stats
         self.use_fast_path = use_fast_path
+        self.obs = resolve_obs(obs)
         self.selection_capture: Optional[Dict[Tuple[int, int], np.ndarray]] = None
         self._dense_fallback: Optional["SlidingWindowAttention"] = None
         # Per-(layer, heads) threshold stacks, rebuilt if the config's
@@ -223,17 +253,25 @@ class LongSightAttention:
                 q_f = np.matmul(q5, rot[:, None])
             else:
                 q_f = q5
-            q_signs = pack_signs(q_f)                 # (Hkv, G, n_new, nb)
-            if key_signs is None:
-                keys_f = np.matmul(k, rot) if cfg.use_itq else k
-                key_signs = pack_signs(keys_f)        # (Hkv, n_ctx, nb)
-            conc = concordance_packed_many(
-                q_signs, key_signs[:, None], head_dim)
-            thresholds = self._threshold_stack(layer, n_kv_heads, group)
-            pass_mask = sparse_mask & (conc >= thresholds)
-            sparse_scores = np.where(pass_mask, scores, -np.inf)
-            selected = top_k_mask(sparse_scores, cfg.top_k)
+            with self.obs.tracer.span("scf_filter", layer=layer):
+                q_signs = pack_signs(q_f)             # (Hkv, G, n_new, nb)
+                if key_signs is None:
+                    keys_f = np.matmul(k, rot) if cfg.use_itq else k
+                    key_signs = pack_signs(keys_f)    # (Hkv, n_ctx, nb)
+                conc = concordance_packed_many(
+                    q_signs, key_signs[:, None], head_dim)
+                thresholds = self._threshold_stack(layer, n_kv_heads, group)
+                pass_mask = sparse_mask & (conc >= thresholds)
+                sparse_scores = np.where(pass_mask, scores, -np.inf)
+                selected = top_k_mask(sparse_scores, cfg.top_k)
             attend = dense_mask | selected
+            metrics = self.obs.metrics
+            if metrics.enabled:
+                _record_split(
+                    metrics, n_q_heads * n_new,
+                    int(dense_mask.sum()) * n_q_heads,
+                    int(sparse_mask.sum()) * n_q_heads,
+                    int(pass_mask.sum()), int(selected.sum()))
             if self.stats is not None:
                 per_q = self._stats_per_q(n_q_heads, n_kv_heads)
                 candidates = int(sparse_mask.sum())
@@ -257,6 +295,10 @@ class LongSightAttention:
                             selected[kv_head, g].copy()
         else:
             attend = np.broadcast_to(dense_mask, scores.shape)
+            metrics = self.obs.metrics
+            if metrics.enabled:
+                _record_split(metrics, n_q_heads * n_new,
+                              int(dense_mask.sum()) * n_q_heads, 0, 0, 0)
 
         final = np.where(attend, scores, -np.inf)
         probs = softmax(final, axis=-1)
@@ -296,6 +338,8 @@ class LongSightAttention:
             else:
                 q_f = q5
 
+        metrics = self.obs.metrics
+        passed_total = selected_total = 0
         out = np.empty_like(q)
         for kv_head in range(n_kv_heads):
             keys = k[kv_head]
@@ -318,6 +362,9 @@ class LongSightAttention:
                     sparse_scores = np.where(pass_mask, scores, neg_inf)
                     selected = top_k_mask(sparse_scores, cfg.top_k)
                     attend = dense_mask | selected
+                    if metrics.enabled:
+                        passed_total += int(pass_mask.sum())
+                        selected_total += int(selected.sum())
                     if self.stats is not None:
                         self.stats.update(
                             layer, h if stats_per_q else kv_head,
@@ -332,6 +379,11 @@ class LongSightAttention:
                     attend = dense_mask
                 scores[~attend] = neg_inf
                 out[h] = softmax(scores, axis=-1) @ values
+        if metrics.enabled:
+            _record_split(metrics, n_q_heads * n_new,
+                          int(dense_mask.sum()) * n_q_heads,
+                          (candidates * n_q_heads) if any_sparse else 0,
+                          passed_total, selected_total)
         return out
 
     def _threshold_stack(self, layer: int, n_kv_heads: int,
@@ -372,6 +424,9 @@ class LongSightAttention:
         any_sparse = bool(sparse_mask.any())
         neg_inf = -np.inf
         stats_per_q = self._stats_per_q(n_q_heads, n_kv_heads)
+        candidates = int(sparse_mask.sum()) if any_sparse else 0
+        metrics = self.obs.metrics
+        passed_total = selected_total = 0
 
         out = np.empty_like(q)
         for kv_head in range(n_kv_heads):
@@ -393,10 +448,13 @@ class LongSightAttention:
                     sparse_scores = np.where(pass_mask, scores, neg_inf)
                     selected = top_k_mask(sparse_scores, cfg.top_k)
                     attend = dense_mask | selected
+                    if metrics.enabled:
+                        passed_total += int(pass_mask.sum())
+                        selected_total += int(selected.sum())
                     if self.stats is not None:
                         self.stats.update(
                             layer, h if stats_per_q else kv_head,
-                            candidates=int(sparse_mask.sum()),
+                            candidates=candidates,
                             passed=int(pass_mask.sum()),
                             retrieved=int(selected.sum()),
                             queries=n_new,
@@ -407,6 +465,11 @@ class LongSightAttention:
                     attend = dense_mask
                 scores[~attend] = neg_inf
                 out[h] = softmax(scores, axis=-1) @ values
+        if metrics.enabled:
+            _record_split(metrics, n_q_heads * n_new,
+                          int(dense_mask.sum()) * n_q_heads,
+                          candidates * n_q_heads, passed_total,
+                          selected_total)
         return out
 
 

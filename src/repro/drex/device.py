@@ -27,6 +27,11 @@ from repro.drex.geometry import DrexGeometry, DREX_DEFAULT
 from repro.drex.nma import NearMemoryAccelerator
 from repro.drex.pfu import PimFilterUnit
 from repro.drex.timing import DrexTimingModel, LatencyBreakdown, OffloadCost
+from repro.obs import Obs, resolve_obs
+
+
+#: Offload-latency histogram edges: log-spaced 100 ns .. 100 ms.
+_LATENCY_NS_EDGES = tuple(float(e) for e in np.geomspace(1e2, 1e8, 61))
 
 
 def _sign_crc(blocks: List[np.ndarray]) -> int:
@@ -84,7 +89,8 @@ class DrexDevice:
                  geometry: DrexGeometry = DREX_DEFAULT,
                  timings: LpddrTimings = LPDDR5X,
                  timing_model: Optional[DrexTimingModel] = None,
-                 dtype_bytes: int = 2) -> None:
+                 dtype_bytes: int = 2,
+                 obs: Optional[Obs] = None) -> None:
         if n_q_heads % n_kv_heads != 0:
             raise ValueError("n_q_heads must be a multiple of n_kv_heads")
         self.n_layers = n_layers
@@ -107,6 +113,7 @@ class DrexDevice:
         #: optional :class:`FilterStats` accumulating the same
         #: candidates/passed/retrieved counters as the software hybrid path.
         self.stats: Optional[FilterStats] = None
+        self.obs = resolve_obs(obs)
 
     # -- population ------------------------------------------------------------
 
@@ -244,6 +251,17 @@ class DrexDevice:
                                               self.dtype_bytes)
         latency.queue_ns += self.timing.request_submit_ns(
             n_q_heads * n_tokens, self.head_dim, self.dtype_bytes)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            # Per-stage modeled latency attribution: where an offload's
+            # nanoseconds go (address gen / filter / bitmap / score / rank
+            # / CXL value read / queueing), summed across offloads.
+            metrics.counter("drex.offloads").inc()
+            for stage, ns in latency.components().items():
+                metrics.counter(f"drex.latency.{stage}_ns").inc(ns)
+            metrics.histogram("drex.offload_total_ns",
+                              edges=_LATENCY_NS_EDGES).observe(
+                                  latency.total_ns)
         return ResponseDescriptor(uid=request.uid, layer=request.layer,
                                   heads=heads, dtype_bytes=self.dtype_bytes,
                                   latency=latency)

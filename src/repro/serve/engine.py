@@ -37,10 +37,14 @@ import numpy as np
 
 from repro.errors import PoolExhaustedError
 from repro.llm.model import Transformer
+from repro.obs import Obs, resolve_obs
 from repro.serve.events import ServeReport
 from repro.serve.paged_kv import PagedKVPool
 from repro.serve.scheduler import (ContinuousBatchScheduler, RequestState,
                                    ServeRequest, SloPolicy, StepPlan)
+
+#: Decode-batch-size histogram edges: one bucket per batch size up to 256.
+_BATCH_EDGES = tuple(float(x) for x in range(1, 257))
 
 
 class TimingModel(Protocol):
@@ -66,12 +70,24 @@ class AnalyticTiming:
             given, a prefill chunk costs the *incremental* prefill latency
             between its start and end context (``None`` models prefill as
             fully overlapped with decode, like the analytic simulator).
+        obs: observability bundle; the modeled seconds of every decode
+            step and prefill chunk are attributed into
+            ``timing.decode_step_s`` / ``timing.prefill_chunk_s``.
     """
 
-    def __init__(self, system, model_config, prefill=None) -> None:
+    def __init__(self, system, model_config, prefill=None,
+                 obs: Optional[Obs] = None) -> None:
         self.system = system
         self.model_config = model_config
         self.prefill = prefill
+        self.obs = resolve_obs(obs)
+
+    def _attribute(self, stage: str, seconds: float) -> None:
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter(f"timing.{stage}s").inc()
+            metrics.counter(f"timing.{stage}_total_s").inc(seconds)
+            metrics.histogram(f"timing.{stage}_s").observe(seconds)
 
     def decode_step_s(self, contexts, degraded=None) -> float:
         if not contexts:
@@ -79,9 +95,13 @@ class AnalyticTiming:
         degraded_step = getattr(self.system, "step_latency_degraded_s", None)
         if degraded is not None and degraded_step is not None \
                 and any(degraded):
-            return degraded_step(self.model_config, list(contexts),
+            step = degraded_step(self.model_config, list(contexts),
                                  list(degraded))
-        return self.system.step_latency_s(self.model_config, list(contexts))
+        else:
+            step = self.system.step_latency_s(self.model_config,
+                                              list(contexts))
+        self._attribute("decode_step", step)
+        return step
 
     def prefill_chunk_s(self, context_before: int, context_after: int) -> float:
         if self.prefill is None or context_after <= context_before:
@@ -90,10 +110,13 @@ class AnalyticTiming:
         after = self.prefill.prefill(self.model_config, context_after,
                                      ls=ls).total_s
         if context_before <= 0:
-            return after
-        before = self.prefill.prefill(self.model_config, context_before,
-                                      ls=ls).total_s
-        return max(0.0, after - before)
+            chunk = after
+        else:
+            before = self.prefill.prefill(self.model_config, context_before,
+                                          ls=ls).total_s
+            chunk = max(0.0, after - before)
+        self._attribute("prefill_chunk", chunk)
+        return chunk
 
 
 class ServeEngine:
@@ -111,13 +134,20 @@ class ServeEngine:
         prefill_block_size: the model-level prefill block; the policy's
             ``prefill_chunk`` must be a multiple of it so chunked prefill
             reproduces single-shot prefill exactly.
+        obs: observability bundle shared with the scheduler.  Metrics
+            (queue depth, batch sizes, shed causes, TTFT/TPOT) always
+            record when the registry is enabled; spans
+            (``serve.run`` > ``engine.step`` > ``prefill_chunk`` /
+            ``decode_batch``) record when the bundle's tracer is enabled.
+            Instrumentation never changes served tokens.
     """
 
     def __init__(self, model: Transformer, pool: PagedKVPool,
                  backend_factory, policy: Optional[SloPolicy] = None,
                  timing: Optional[TimingModel] = None,
                  name: str = "serve", prefill_block_size: int = 256,
-                 max_steps: int = 1_000_000) -> None:
+                 max_steps: int = 1_000_000,
+                 obs: Optional[Obs] = None) -> None:
         self.model = model
         self.pool = pool
         self.backend_factory = backend_factory
@@ -130,6 +160,7 @@ class ServeEngine:
         self.name = name
         self.prefill_block_size = prefill_block_size
         self.max_steps = max_steps
+        self.obs = resolve_obs(obs)
 
     # -- session plumbing -----------------------------------------------------
 
@@ -185,67 +216,97 @@ class ServeEngine:
 
     def run(self, requests: Sequence[ServeRequest]) -> ServeReport:
         """Serve ``requests`` to completion; returns the event report."""
-        scheduler = ContinuousBatchScheduler(self.pool, self.policy)
+        scheduler = ContinuousBatchScheduler(self.pool, self.policy,
+                                             obs=self.obs)
         arrivals = sorted(requests,
                           key=lambda r: (r.arrival_s, r.request_id))
         next_arrival = 0
         clock = 0.0
         tokens_generated = 0
         peak_batch = 0
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
 
-        for _ in range(self.max_steps):
-            while next_arrival < len(arrivals) \
-                    and arrivals[next_arrival].arrival_s <= clock:
-                scheduler.submit(arrivals[next_arrival])
-                next_arrival += 1
-            for request in scheduler.admit(clock):
-                self._attach(request)
-            plan = scheduler.assemble()
-            if plan.empty:
-                if next_arrival < len(arrivals):
-                    clock = max(clock, arrivals[next_arrival].arrival_s)
-                    continue
-                break
+        with tracer.span("serve.run", system=self.name,
+                         requests=len(arrivals)):
+            for _ in range(self.max_steps):
+                while next_arrival < len(arrivals) \
+                        and arrivals[next_arrival].arrival_s <= clock:
+                    scheduler.submit(arrivals[next_arrival])
+                    next_arrival += 1
+                for request in scheduler.admit(clock):
+                    self._attach(request)
+                plan = scheduler.assemble()
+                if plan.empty:
+                    if next_arrival < len(arrivals):
+                        clock = max(clock, arrivals[next_arrival].arrival_s)
+                        continue
+                    break
 
-            step_s, emitted, degraded_flags = self._execute(
-                scheduler, plan, clock)
-            if step_s == 0.0 and not emitted:
-                # Every runnable session is waiting out its overlapped
-                # prefill charge; jump the clock to the first readiness.
-                waiting = [r.ready_s for r in scheduler.running
-                           if r.state is RequestState.DECODE
-                           and r.ready_s > clock]
-                if waiting:
-                    clock = min(waiting)
-                    continue
-            clock += step_s
-            peak_batch = max(peak_batch, len(plan.decodes))
-            tokens_generated += len(emitted)
-            for request in emitted:
-                stamp = max(clock, request.ready_s)
-                request.events.token_times_s.append(stamp)
-                if request.events.first_token_s is None:
-                    request.events.first_token_s = stamp
-            for request, degraded in degraded_flags:
-                scheduler.note_degraded(request, degraded)
-                if request.pinned_dense and request.state \
-                        is RequestState.DECODE \
-                        and not self._is_pinned_backend(request):
-                    request.backend = self._dense_pin_of(request.backend)
-            for request in list(plan.decodes):
-                if request.state is RequestState.DECODE \
-                        and len(request.outputs) >= request.max_new_tokens:
-                    scheduler.request_finished(request, clock)
+                with tracer.span("engine.step"):
+                    step_s, emitted, degraded_flags = self._execute(
+                        scheduler, plan, clock)
+                if metrics.enabled:
+                    metrics.counter("serve.steps").inc()
+                    metrics.counter("serve.tokens").inc(len(emitted))
+                    metrics.histogram("serve.decode_batch",
+                                      edges=_BATCH_EDGES).observe(
+                                          len(plan.decodes))
+                    metrics.gauge("serve.queue_depth").set(
+                        len(scheduler.queued))
+                    metrics.gauge("serve.running_sessions").set(
+                        len(scheduler.running))
+                if step_s == 0.0 and not emitted:
+                    # Every runnable session is waiting out its overlapped
+                    # prefill charge; jump the clock to the first readiness.
+                    waiting = [r.ready_s for r in scheduler.running
+                               if r.state is RequestState.DECODE
+                               and r.ready_s > clock]
+                    if waiting:
+                        clock = min(waiting)
+                        continue
+                clock += step_s
+                peak_batch = max(peak_batch, len(plan.decodes))
+                tokens_generated += len(emitted)
+                for request in emitted:
+                    stamp = max(clock, request.ready_s)
+                    request.events.token_times_s.append(stamp)
+                    if request.events.first_token_s is None:
+                        request.events.first_token_s = stamp
+                for request, degraded in degraded_flags:
+                    scheduler.note_degraded(request, degraded)
+                    if request.pinned_dense and request.state \
+                            is RequestState.DECODE \
+                            and not self._is_pinned_backend(request):
+                        request.backend = self._dense_pin_of(request.backend)
+                for request in list(plan.decodes):
+                    if request.state is RequestState.DECODE \
+                            and len(request.outputs) >= request.max_new_tokens:
+                        scheduler.request_finished(request, clock)
+
+        # TTFT / TPOT distributions live in the registry; the report reads
+        # its percentiles from these run-scoped exact histograms (or falls
+        # back to the raw events when the registry is a no-op).
+        events = [r.events for r in arrivals]
+        ttft_hist = metrics.new_histogram("serve.ttft_s", track_values=True)
+        tpot_hist = metrics.new_histogram("serve.tpot_s", track_values=True)
+        for event in events:
+            if event.ttft_s is not None:
+                ttft_hist.observe(event.ttft_s)
+            if event.tpot_s is not None:
+                tpot_hist.observe(event.tpot_s)
 
         return ServeReport(
             system=self.name,
-            events=[r.events for r in arrivals],
+            events=events,
             clock_s=clock,
             tokens_generated=tokens_generated,
             peak_decode_batch=peak_batch,
             preemptions=scheduler.preemptions,
             pool_blocks=self.pool.n_blocks,
             pool_high_watermark=self.pool.high_watermark,
+            ttft_hist=ttft_hist if ttft_hist.count else None,
+            tpot_hist=tpot_hist if tpot_hist.count else None,
         )
 
     def _is_pinned_backend(self, request: ServeRequest) -> bool:
@@ -261,6 +322,7 @@ class ServeEngine:
         wall0 = time.perf_counter()
         emitted: List[ServeRequest] = []
         analytic_s = 0.0
+        tracer = self.obs.tracer
 
         # -- chunked prefill --------------------------------------------------
         for request in list(plan.prefills):
@@ -272,9 +334,11 @@ class ServeEngine:
                 self._shed_in_flight(scheduler, request)
                 continue
             segment = target[request.prefilled: request.prefilled + chunk]
-            logits = self.model.prefill(segment, request.cache,
-                                        backend=request.backend,
-                                        block_size=self.prefill_block_size)
+            with tracer.span("prefill_chunk", request=request.request_id,
+                             tokens=int(chunk)):
+                logits = self.model.prefill(
+                    segment, request.cache, backend=request.backend,
+                    block_size=self.prefill_block_size)
             ctx_before = request.prefilled
             request.prefilled += chunk
             if self.timing is not None:
@@ -324,10 +388,11 @@ class ServeEngine:
         ready = [r for r in ready if r.state is RequestState.DECODE]
         if ready:
             before = [self._backend_degraded(r.backend) for r in ready]
-            logits_list = self.model.decode_step_batch(
-                [r.pending_token for r in ready],
-                [r.cache for r in ready],
-                [r.backend for r in ready])
+            with tracer.span("decode_batch", batch=len(ready)):
+                logits_list = self.model.decode_step_batch(
+                    [r.pending_token for r in ready],
+                    [r.cache for r in ready],
+                    [r.backend for r in ready])
             for request, logits, seen in zip(ready, logits_list, before):
                 token = int(np.argmax(logits))
                 request.outputs.append(token)
@@ -348,6 +413,9 @@ class ServeEngine:
     def _shed_in_flight(self, scheduler: ContinuousBatchScheduler,
                         request: ServeRequest) -> None:
         """Capacity shed: not even preemption freed room for this request."""
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("serve.shed.capacity").inc()
         request.pinned_dense = False
         request.state = RequestState.SHED
         request.events.shed = True

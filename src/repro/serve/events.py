@@ -7,6 +7,12 @@ mode).  :class:`ServeReport` reduces the event log to the metrics a
 serving SLO is written against: TTFT and TPOT percentiles, aggregate
 decode throughput, and the shed/degradation accounting the fault layer
 feeds.
+
+Percentiles are sourced from the ``repro.obs`` registry: the engine
+records every request's TTFT/TPOT into exact (sample-retaining)
+histograms and hands them to the report, which falls back to computing
+the same :func:`repro.obs.exact_percentile` over the raw events when the
+registry is a no-op — the two paths are bit-identical.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
-import numpy as np
+from repro.obs import Histogram, exact_percentile
 
 
 @dataclasses.dataclass
@@ -68,12 +74,6 @@ class RequestEvents:
         }
 
 
-def _percentile(values: List[float], q: float) -> float:
-    if not values:
-        return 0.0
-    return float(np.percentile(values, q))
-
-
 @dataclasses.dataclass
 class ServeReport:
     """Outcome of one :class:`~repro.serve.engine.ServeEngine` run."""
@@ -86,6 +86,11 @@ class ServeReport:
     preemptions: int
     pool_blocks: int
     pool_high_watermark: int
+    #: registry-backed exact TTFT/TPOT distributions, populated by the
+    #: engine; ``None`` (no-op registry, or hand-built reports) falls back
+    #: to recomputing from ``events``.
+    ttft_hist: Optional[Histogram] = None
+    tpot_hist: Optional[Histogram] = None
 
     # -- request partitions ---------------------------------------------------
 
@@ -110,10 +115,14 @@ class ServeReport:
         return [e.tpot_s for e in self.events if e.tpot_s is not None]
 
     def ttft_percentile_s(self, q: float) -> float:
-        return _percentile(self._ttfts(), q)
+        if self.ttft_hist is not None and self.ttft_hist.count:
+            return self.ttft_hist.percentile(q)
+        return exact_percentile(self._ttfts(), q)
 
     def tpot_percentile_s(self, q: float) -> float:
-        return _percentile(self._tpots(), q)
+        if self.tpot_hist is not None and self.tpot_hist.count:
+            return self.tpot_hist.percentile(q)
+        return exact_percentile(self._tpots(), q)
 
     @property
     def throughput_tps(self) -> float:

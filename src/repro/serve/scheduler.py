@@ -27,6 +27,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import Obs, resolve_obs
 from repro.serve.events import RequestEvents
 from repro.serve.paged_kv import PagedKVPool
 
@@ -173,13 +174,20 @@ class ContinuousBatchScheduler:
     """Admission, batch assembly, and preemption over one paged pool."""
 
     def __init__(self, pool: PagedKVPool,
-                 policy: Optional[SloPolicy] = None) -> None:
+                 policy: Optional[SloPolicy] = None,
+                 obs: Optional[Obs] = None) -> None:
         self.pool = pool
         self.policy = policy or SloPolicy()
+        self.obs = resolve_obs(obs)
         self.queued: List[ServeRequest] = []
         self.running: List[ServeRequest] = []   # PREFILL or DECODE
         self.finished: List[ServeRequest] = []
         self.preemptions = 0
+
+    def _count(self, name: str, amount=1) -> None:
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter(name).inc(amount)
 
     # -- submission -----------------------------------------------------------
 
@@ -238,11 +246,11 @@ class ContinuousBatchScheduler:
             if policy.queue_timeout_s is not None \
                     and now - head.arrival_s > policy.queue_timeout_s:
                 self.queued.pop(0)
-                self._reject(head)
+                self._reject(head, "queue_timeout")
                 continue
             if self._session_blocks(head) > self.pool.n_blocks:
                 self.queued.pop(0)
-                self._reject(head)
+                self._reject(head, "impossible_fit")
                 continue
             need = self._prompt_blocks(head)
             # Headroom protects the growth of *running* sessions; an idle
@@ -260,7 +268,9 @@ class ContinuousBatchScheduler:
             admitted.append(head)
         return admitted
 
-    def _reject(self, request: ServeRequest) -> None:
+    def _reject(self, request: ServeRequest, cause: str) -> None:
+        self._count("serve.rejected")
+        self._count(f"serve.shed.{cause}")
         request.state = RequestState.SHED
         request.events.rejected = True
         request.events.shed = True
@@ -314,9 +324,11 @@ class ContinuousBatchScheduler:
         if degraded:
             request.events.degraded_tokens += 1
             request.consecutive_degraded += 1
+            self._count("serve.degraded_tokens")
             if not request.pinned_dense and request.consecutive_degraded \
                     >= self.policy.shed_after_consecutive_degraded:
                 request.pinned_dense = True
+                self._count("serve.shed.degraded_pin")
         else:
             request.consecutive_degraded = 0
 
@@ -348,5 +360,6 @@ class ContinuousBatchScheduler:
         victim.ready_s = 0.0
         victim.events.preemptions += 1
         self.preemptions += 1
+        self._count("serve.preemptions")
         self.submit(victim)
         return victim

@@ -31,6 +31,7 @@ from repro.drex.descriptors import RequestDescriptor, ResponseDescriptor
 from repro.errors import (CorruptedKsoError, OffloadTimeoutError, QueueFullError,
                           ReproError)
 from repro.llm.config import ModelConfig
+from repro.obs import Obs, resolve_obs
 from repro.system.faults import FaultInjector, FaultPlan, make_faulty_device
 
 
@@ -85,13 +86,20 @@ class OffloadSupervisor:
     """Retry / verify / repair / degrade wrapper around one device."""
 
     def __init__(self, device, policy: Optional[SupervisorPolicy] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, obs: Optional[Obs] = None) -> None:
         self.device = device
         self.policy = policy or SupervisorPolicy()
         #: jitter stream, independent of the injector's fault stream so the
         #: two never perturb each other's determinism.
         self.rng = np.random.default_rng(seed)
         self.stats = SupervisorStats()
+        self.obs = resolve_obs(obs)
+
+    def _bump(self, name: str, amount=1) -> None:
+        """Mirror a :class:`SupervisorStats` increment into the registry."""
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("offload." + name).inc(amount)
 
     # -- internals ---------------------------------------------------------------
 
@@ -101,10 +109,12 @@ class OffloadSupervisor:
         if not bad:
             return
         self.stats.corrupted_heads += len(bad)
+        self._bump("corrupted_heads", len(bad))
         if self.policy.repair_kso:
             for kv_head in bad:
                 self.device.repair_kso(request.uid, request.layer, kv_head)
                 self.stats.repairs += 1
+            self._bump("repairs", len(bad))
         raise CorruptedKsoError(
             f"KSO checksum failed for uid={request.uid} "
             f"layer={request.layer} kv_heads={bad}"
@@ -146,27 +156,34 @@ class OffloadSupervisor:
         backoff_total = 0.0
         for attempt in range(self.policy.max_retries + 1):
             self.stats.attempts += 1
+            self._bump("attempts")
             try:
                 response = self._attempt(request)
             except OffloadTimeoutError:
                 self.stats.timeouts += 1  # injected stall or budget overrun
+                self._bump("timeouts")
             except QueueFullError:
                 self.stats.queue_full += 1
+                self._bump("queue_full")
             except CorruptedKsoError:
                 pass  # counted (and repaired) in _check_kso
             except ReproError:
                 pass  # any other operational failure: retry, then degrade
             else:
                 self.stats.succeeded += 1
+                self._bump("succeeded")
                 if backoff_total > 0.0 and response.latency is not None:
                     response.latency.queue_ns += backoff_total
                 return response
             if attempt < self.policy.max_retries:
                 self.stats.retries += 1
+                self._bump("retries")
                 delay = self._backoff(attempt)
                 backoff_total += delay
                 self.stats.backoff_ns += delay
+                self._bump("backoff_ns", delay)
         self.stats.degraded += 1
+        self._bump("degraded")
         return None
 
     def flush_allowed(self) -> bool:
@@ -178,6 +195,7 @@ class OffloadSupervisor:
         injector = getattr(self.device, "injector", None)
         if injector is not None and injector.fires("capacity_pressure"):
             self.stats.flush_deferrals += 1
+            self._bump("flush_deferrals")
             return False
         return True
 

@@ -22,6 +22,15 @@ def pytest_addoption(parser):
         "test_timeout_s",
         "per-test wall-clock limit in seconds (SIGALRM; 0 disables)",
         default="120")
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite checked-in golden files (e.g. the serve span tree) "
+             "instead of comparing against them")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
 
 
 @pytest.fixture(autouse=True)

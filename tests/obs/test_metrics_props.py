@@ -1,0 +1,111 @@
+"""Property tests for the metrics registry (hypothesis).
+
+Two contracts the observability layer documents:
+
+- the bucket-only percentile estimate lands within one bucket of the
+  exact nearest-rank percentile (``np.percentile`` with
+  ``method="inverted_cdf"``) for any data and any ``q``;
+- registry merges are associative and commutative, so per-worker
+  registries can be folded in any order (exact for integer counters;
+  gauges merge by max, histograms by bucket-count addition).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.metrics import DEFAULT_EDGES
+
+# Spans both tails: below the first edge (1e-6) and above the last (1e2).
+_values = st.lists(
+    st.floats(min_value=1e-9, max_value=1e4,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=120)
+_q = st.floats(min_value=0.0, max_value=100.0)
+
+
+class TestPercentileEstimate:
+    @given(values=_values, q=_q)
+    @settings(max_examples=200, deadline=None)
+    def test_estimate_within_one_bucket_of_exact(self, values, q):
+        hist = Histogram("h", edges=DEFAULT_EDGES)
+        for value in values:
+            hist.observe(value)
+        exact = float(np.percentile(np.asarray(values), q,
+                                    method="inverted_cdf"))
+        estimate = hist.estimate_percentile(q)
+        assert abs(hist.bucket_index(estimate)
+                   - hist.bucket_index(exact)) <= 1
+        # the estimate never leaves the observed range
+        assert min(values) <= estimate <= max(values)
+
+    @given(values=_values, q=_q)
+    @settings(max_examples=100, deadline=None)
+    def test_tracked_histogram_percentile_is_exact(self, values, q):
+        hist = Histogram("h", track_values=True)
+        for value in values:
+            hist.observe(value)
+        assert hist.percentile(q) == float(
+            np.percentile(np.asarray(values, dtype=np.float64), q))
+
+    @given(values=_values, split=st.integers(min_value=0, max_value=120))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_observing_concatenation(self, values, split):
+        split = min(split, len(values))
+        left, right = Histogram("h"), Histogram("h")
+        for value in values[:split]:
+            left.observe(value)
+        for value in values[split:]:
+            right.observe(value)
+        whole = Histogram("h")
+        for value in values:
+            whole.observe(value)
+        left.merge(right)
+        assert np.array_equal(left.counts, whole.counts)
+        assert left.count == whole.count
+        assert left.min == whole.min and left.max == whole.max
+
+
+_names = st.sampled_from(["a", "b", "c"])
+_incs = st.lists(st.tuples(_names, st.integers(min_value=0, max_value=10**6)),
+                 max_size=30)
+
+
+def _registry(increments) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, amount in increments:
+        registry.counter(name).inc(amount)
+    return registry
+
+
+class TestCounterMerge:
+    @given(x=_incs, y=_incs)
+    @settings(max_examples=200, deadline=None)
+    def test_commutative(self, x, y):
+        xy = _registry(x)
+        xy.merge(_registry(y))
+        yx = _registry(y)
+        yx.merge(_registry(x))
+        assert xy.snapshot()["counters"] == yx.snapshot()["counters"]
+
+    @given(x=_incs, y=_incs, z=_incs)
+    @settings(max_examples=200, deadline=None)
+    def test_associative(self, x, y, z):
+        left = _registry(x)
+        left.merge(_registry(y))
+        left.merge(_registry(z))
+        inner = _registry(y)
+        inner.merge(_registry(z))
+        right = _registry(x)
+        right.merge(inner)
+        assert left.snapshot()["counters"] == right.snapshot()["counters"]
+
+    @given(x=_incs, y=_incs)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_total(self, x, y):
+        merged = _registry(x)
+        merged.merge(_registry(y))
+        totals = {}
+        for name, amount in list(x) + list(y):
+            totals[name] = totals.get(name, 0) + amount
+        assert merged.snapshot()["counters"] == totals
