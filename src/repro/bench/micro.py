@@ -1,20 +1,37 @@
 """Attention microbenchmark CLI (``python -m repro.bench.micro``).
 
-Times prefill and decode for three attention backends across context
+Times prefill and decode for five attention backends across context
 lengths:
 
 - ``sliding_window`` — the StreamingLLM-style baseline (O(window)/query),
 - ``hybrid_reference`` — :class:`LongSightAttention` per-head reference loop,
-- ``hybrid_fast`` — the head-batched fast path consuming the KV cache's
-  incremental sign store.
+- ``hybrid_fast`` — the head-batched monolithic fast path consuming the KV
+  cache's incremental sign store (``prefill_tile=0``),
+- ``hybrid_tiled`` — the fast path with the IO-aware tiled prefill enabled
+  (streams keys/values/signs in ``--prefill-tile`` column tiles, so large
+  contexts never materialize an ``(n_queries, n_ctx)`` score array),
+- ``hybrid_antidiag`` — the XAttention-style antidiagonal block-scoring
+  pre-filter (:mod:`repro.core.antidiag`).
+
+Quadratic-cost prefill series (the reference loop and the monolithic fast
+path) are only measured up to ``--max-reference-context``; beyond it
+their entries are ``null`` — a 256k reference prefill would take hours
+and teach nothing.  Decode is cheap for every backend, so decode series
+are always complete, which keeps the long-context decode speedup
+(the paper's headline number) directly measurable at every point of the
+curve.
 
 Results are written as ``BENCH_attention.json`` (default: ``results/``) so
-later performance work has a trajectory to regress against.  The JSON
-schema is validated by ``tests/bench/test_micro.py``:
+later performance work has a trajectory to regress against.  Schema v2 is
+validated by ``tests/bench/test_micro.py``:
 
 - ``contexts`` is a strictly increasing token-count axis,
-- every backend series has one entry per context,
-- all times are seconds (best of ``--repeats``), speedups are ratios.
+- every backend series has one entry per context (prefill entries may be
+  ``null`` above the reference cap),
+- ``speedup.decode`` / ``speedup.prefill`` hold per-backend
+  reference-time / backend-time curves (``null`` where either side was
+  not measured),
+- all times are seconds (best of ``--repeats``).
 """
 
 from __future__ import annotations
@@ -28,14 +45,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.bench.tables import Table, results_dir
+from repro.core.antidiag import AntidiagonalAttention
 from repro.core.config import LongSightConfig
 from repro.core.hybrid import LongSightAttention, SlidingWindowAttention
 from repro.llm.config import ModelConfig
 from repro.llm.kv_cache import KVCache
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 RESULT_NAME = "BENCH_attention.json"
-BACKENDS = ("sliding_window", "hybrid_reference", "hybrid_fast")
+BACKENDS = ("sliding_window", "hybrid_reference", "hybrid_fast",
+            "hybrid_tiled", "hybrid_antidiag")
+#: Backends whose *prefill* cost is quadratic in context length; their
+#: prefill series stop at ``max_reference_context``.
+QUADRATIC_PREFILL = ("hybrid_reference", "hybrid_fast")
 
 
 def bench_model_config(n_q_heads: int = 8, n_kv_heads: int = 2,
@@ -55,49 +77,83 @@ def _time_best(fn: Callable[[], object], repeats: int) -> float:
     return best
 
 
-def _decode_runners(mc: ModelConfig, cfg: LongSightConfig, k: np.ndarray,
-                    v: np.ndarray, q: np.ndarray) -> Dict[str, Callable]:
-    """One-token decode at full context, per backend."""
-    sliding = SlidingWindowAttention(window=cfg.window, n_sink=cfg.n_sink)
-    reference = LongSightAttention(cfg, use_fast_path=False)
-    fast = LongSightAttention(cfg)
-    cache = KVCache(mc)
-    fast.prepare_cache(cache)
-    cache.append(0, k, v)
+def _backend_stack(cfg: LongSightConfig, prefill_tile: int) -> Dict[str, object]:
+    """Fresh backend instances, one per benchmarked series."""
     return {
-        "sliding_window": lambda: sliding.forward(0, q, k, v),
-        "hybrid_reference": lambda: reference.forward(0, q, k, v),
-        "hybrid_fast": lambda: fast.forward_cached(0, q, cache),
+        "sliding_window": SlidingWindowAttention(window=cfg.window,
+                                                 n_sink=cfg.n_sink),
+        "hybrid_reference": LongSightAttention(cfg.replace(prefill_tile=0),
+                                               use_fast_path=False),
+        "hybrid_fast": LongSightAttention(cfg.replace(prefill_tile=0)),
+        "hybrid_tiled": LongSightAttention(
+            cfg.replace(prefill_tile=prefill_tile)),
+        "hybrid_antidiag": AntidiagonalAttention(
+            cfg.replace(prefilter="antidiag")),
+    }
+
+
+def _decode_runners(mc: ModelConfig, cfg: LongSightConfig, k: np.ndarray,
+                    v: np.ndarray, q: np.ndarray,
+                    prefill_tile: int) -> Dict[str, Callable]:
+    """One-token decode at full context, per backend.
+
+    Cache-consuming backends get a pre-populated cache with their
+    incremental metadata (packed signs / block summaries) already built,
+    mirroring steady-state decode where appends maintain it token by
+    token.
+    """
+    stack = _backend_stack(cfg, prefill_tile)
+    caches: Dict[str, KVCache] = {}
+    for name in ("hybrid_fast", "hybrid_tiled", "hybrid_antidiag"):
+        cache = KVCache(mc)
+        stack[name].prepare_cache(cache)
+        cache.append(0, k, v)
+        caches[name] = cache
+    return {
+        "sliding_window": lambda: stack["sliding_window"].forward(0, q, k, v),
+        "hybrid_reference":
+            lambda: stack["hybrid_reference"].forward(0, q, k, v),
+        "hybrid_fast":
+            lambda: stack["hybrid_fast"].forward_cached(
+                0, q, caches["hybrid_fast"]),
+        "hybrid_tiled":
+            lambda: stack["hybrid_tiled"].forward_cached(
+                0, q, caches["hybrid_tiled"]),
+        "hybrid_antidiag":
+            lambda: stack["hybrid_antidiag"].forward_cached(
+                0, q, caches["hybrid_antidiag"]),
     }
 
 
 def _prefill_runners(mc: ModelConfig, cfg: LongSightConfig, k: np.ndarray,
-                     v: np.ndarray, q_full: np.ndarray,
-                     block_size: int) -> Dict[str, Callable]:
+                     v: np.ndarray, q_full: np.ndarray, block_size: int,
+                     prefill_tile: int) -> Dict[str, Callable]:
     """Blockwise prefill over the whole context, per backend."""
     n_ctx = k.shape[1]
-    sliding = SlidingWindowAttention(window=cfg.window, n_sink=cfg.n_sink)
-    reference = LongSightAttention(cfg, use_fast_path=False)
-    fast = LongSightAttention(cfg)
+    stack = _backend_stack(cfg, prefill_tile)
 
     def run_stateless(backend) -> None:
         for start in range(0, n_ctx, block_size):
             stop = min(start + block_size, n_ctx)
             backend.forward(0, q_full[:, start:stop], k[:, :stop], v[:, :stop])
 
-    def run_fast() -> None:
-        cache = KVCache(mc)
-        cache.reserve(n_ctx)
-        fast.prepare_cache(cache)
-        for start in range(0, n_ctx, block_size):
-            stop = min(start + block_size, n_ctx)
-            cache.append(0, k[:, start:stop], v[:, start:stop])
-            fast.forward_cached(0, q_full[:, start:stop], cache)
+    def run_cached(backend) -> Callable[[], None]:
+        def run() -> None:
+            cache = KVCache(mc)
+            cache.reserve(n_ctx)
+            backend.prepare_cache(cache)
+            for start in range(0, n_ctx, block_size):
+                stop = min(start + block_size, n_ctx)
+                cache.append(0, k[:, start:stop], v[:, start:stop])
+                backend.forward_cached(0, q_full[:, start:stop], cache)
+        return run
 
     return {
-        "sliding_window": lambda: run_stateless(sliding),
-        "hybrid_reference": lambda: run_stateless(reference),
-        "hybrid_fast": run_fast,
+        "sliding_window": lambda: run_stateless(stack["sliding_window"]),
+        "hybrid_reference": lambda: run_stateless(stack["hybrid_reference"]),
+        "hybrid_fast": run_cached(stack["hybrid_fast"]),
+        "hybrid_tiled": run_cached(stack["hybrid_tiled"]),
+        "hybrid_antidiag": run_cached(stack["hybrid_antidiag"]),
     }
 
 
@@ -105,7 +161,8 @@ def run_micro(contexts: Sequence[int] = (512, 1024, 2048, 4096),
               repeats: int = 5, window: int = 128, n_sink: int = 16,
               top_k: int = 128, threshold: Optional[float] = None,
               n_q_heads: int = 8, n_kv_heads: int = 2, head_dim: int = 64,
-              block_size: int = 256, seed: int = 0,
+              block_size: int = 256, prefill_tile: int = 4096,
+              max_reference_context: int = 16384, seed: int = 0,
               out_dir: Optional[pathlib.Path] = None) -> Table:
     """Run the microbenchmark; returns the table and writes the JSON."""
     contexts = sorted(set(int(c) for c in contexts))
@@ -117,24 +174,36 @@ def run_micro(contexts: Sequence[int] = (512, 1024, 2048, 4096),
     rng = np.random.default_rng(seed)
     kv_dtype = np.dtype(mc.kv_dtype)
 
-    series: Dict[str, Dict[str, List[float]]] = {
+    series: Dict[str, Dict[str, List[Optional[float]]]] = {
         name: {"decode_s": [], "prefill_s": []} for name in BACKENDS}
     for n_ctx in contexts:
         k = rng.normal(size=(n_kv_heads, n_ctx, head_dim)).astype(kv_dtype)
         v = rng.normal(size=(n_kv_heads, n_ctx, head_dim)).astype(kv_dtype)
         q_full = rng.normal(size=(n_q_heads, n_ctx, head_dim))
         q_last = q_full[:, -1:, :]
-        for name, fn in _decode_runners(mc, cfg, k, v, q_last).items():
+        for name, fn in _decode_runners(mc, cfg, k, v, q_last,
+                                        prefill_tile).items():
             series[name]["decode_s"].append(_time_best(fn, repeats))
-        for name, fn in _prefill_runners(mc, cfg, k, v, q_full,
-                                         block_size).items():
-            series[name]["prefill_s"].append(_time_best(fn, repeats))
+        prefill = _prefill_runners(mc, cfg, k, v, q_full, block_size,
+                                   prefill_tile)
+        for name, fn in prefill.items():
+            if name in QUADRATIC_PREFILL and n_ctx > max_reference_context:
+                series[name]["prefill_s"].append(None)
+            else:
+                series[name]["prefill_s"].append(_time_best(fn, repeats))
+
+    def _ratio(ref: Optional[float], t: Optional[float]) -> Optional[float]:
+        if ref is None or t is None:
+            return None
+        return ref / max(t, 1e-12)
 
     speedup = {
-        f"{phase}_fast_vs_reference": [
-            ref / max(fastt, 1e-12)
-            for ref, fastt in zip(series["hybrid_reference"][f"{phase}_s"],
-                                  series["hybrid_fast"][f"{phase}_s"])]
+        phase: {
+            name: [_ratio(ref, t) for ref, t in
+                   zip(series["hybrid_reference"][f"{phase}_s"],
+                       series[name][f"{phase}_s"])]
+            for name in BACKENDS if name != "hybrid_reference"
+        }
         for phase in ("decode", "prefill")
     }
 
@@ -142,12 +211,19 @@ def run_micro(contexts: Sequence[int] = (512, 1024, 2048, 4096),
         "benchmark": "attention_micro",
         "schema_version": SCHEMA_VERSION,
         "units": {"context": "tokens", "decode_s": "seconds per decode step",
-                  "prefill_s": "seconds per full prefill",
-                  "speedup": "reference_time / fast_time"},
+                  "prefill_s": "seconds per full prefill (null = skipped, "
+                               "quadratic backend above the reference cap)",
+                  "speedup": "reference_time / backend_time"},
         "model": {"n_q_heads": n_q_heads, "n_kv_heads": n_kv_heads,
                   "head_dim": head_dim, "kv_dtype": mc.kv_dtype},
         "config": {"window": window, "n_sink": n_sink, "top_k": top_k,
                    "threshold": threshold, "block_size": block_size,
+                   "prefill_tile": prefill_tile,
+                   "max_reference_context": max_reference_context,
+                   "antidiag": {"block": cfg.antidiag_block,
+                                "stride": cfg.antidiag_stride,
+                                "tau": cfg.antidiag_tau,
+                                "max_blocks": cfg.antidiag_max_blocks},
                    "repeats": repeats},
         "contexts": contexts,
         "backends": series,
@@ -157,30 +233,34 @@ def run_micro(contexts: Sequence[int] = (512, 1024, 2048, 4096),
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / RESULT_NAME).write_text(json.dumps(payload, indent=2) + "\n")
 
+    def _ms(value: Optional[float]) -> Optional[float]:
+        return None if value is None else value * 1e3
+
     table = Table(
         "attention microbenchmark (decode one token / prefill full context)",
-        ["context", "sw_decode_ms", "ref_decode_ms", "fast_decode_ms",
-         "decode_speedup", "ref_prefill_ms", "fast_prefill_ms",
-         "prefill_speedup"],
+        ["context", "ref_decode_ms", "fast_decode_ms", "anti_decode_ms",
+         "decode_speedup", "ref_prefill_ms", "tiled_prefill_ms",
+         "anti_prefill_ms", "tiled_speedup"],
         note=f"best of {repeats}; window={window} top_k={top_k} "
              f"threshold={threshold} heads={n_q_heads}/{n_kv_heads} "
-             f"d={head_dim}")
+             f"d={head_dim} tile={prefill_tile}")
     for i, n_ctx in enumerate(contexts):
         table.add_row(
             context=n_ctx,
-            sw_decode_ms=series["sliding_window"]["decode_s"][i] * 1e3,
-            ref_decode_ms=series["hybrid_reference"]["decode_s"][i] * 1e3,
-            fast_decode_ms=series["hybrid_fast"]["decode_s"][i] * 1e3,
-            decode_speedup=speedup["decode_fast_vs_reference"][i],
-            ref_prefill_ms=series["hybrid_reference"]["prefill_s"][i] * 1e3,
-            fast_prefill_ms=series["hybrid_fast"]["prefill_s"][i] * 1e3,
-            prefill_speedup=speedup["prefill_fast_vs_reference"][i],
+            ref_decode_ms=_ms(series["hybrid_reference"]["decode_s"][i]),
+            fast_decode_ms=_ms(series["hybrid_fast"]["decode_s"][i]),
+            anti_decode_ms=_ms(series["hybrid_antidiag"]["decode_s"][i]),
+            decode_speedup=speedup["decode"]["hybrid_fast"][i],
+            ref_prefill_ms=_ms(series["hybrid_reference"]["prefill_s"][i]),
+            tiled_prefill_ms=_ms(series["hybrid_tiled"]["prefill_s"][i]),
+            anti_prefill_ms=_ms(series["hybrid_antidiag"]["prefill_s"][i]),
+            tiled_speedup=speedup["prefill"]["hybrid_tiled"][i],
         )
     return table
 
 
 def validate_payload(payload: dict) -> List[str]:
-    """Schema check used by the smoke test; returns a list of problems."""
+    """Schema-v2 check used by the smoke test; returns a list of problems."""
     problems = []
     for key in ("benchmark", "schema_version", "units", "model", "config",
                 "contexts", "backends", "speedup"):
@@ -188,6 +268,8 @@ def validate_payload(payload: dict) -> List[str]:
             problems.append(f"missing key: {key}")
     if problems:
         return problems
+    if payload["schema_version"] != SCHEMA_VERSION:
+        problems.append(f"schema_version != {SCHEMA_VERSION}")
     contexts = payload["contexts"]
     if any(b >= a for a, b in zip(contexts[1:], contexts)):
         problems.append("contexts axis is not strictly increasing")
@@ -199,16 +281,35 @@ def validate_payload(payload: dict) -> List[str]:
         if backend is None:
             problems.append(f"missing backend series: {name}")
             continue
-        for phase in ("decode_s", "prefill_s"):
-            values = backend.get(phase)
+        decode = backend.get("decode_s")
+        if decode is None or len(decode) != len(contexts):
+            problems.append(f"{name}.decode_s length != len(contexts)")
+        elif any(t is None or t <= 0 for t in decode):
+            problems.append(f"{name}.decode_s has missing/non-positive times")
+        prefill = backend.get("prefill_s")
+        if prefill is None or len(prefill) != len(contexts):
+            problems.append(f"{name}.prefill_s length != len(contexts)")
+        else:
+            if any(t is not None and t <= 0 for t in prefill):
+                problems.append(f"{name}.prefill_s has non-positive times")
+            if name not in QUADRATIC_PREFILL and any(
+                    t is None for t in prefill):
+                problems.append(f"{name}.prefill_s has null entries but is "
+                                "not a capped quadratic backend")
+    for phase in ("decode", "prefill"):
+        curves = payload["speedup"].get(phase)
+        if not isinstance(curves, dict):
+            problems.append(f"speedup.{phase} is not a per-backend mapping")
+            continue
+        for name in BACKENDS:
+            if name == "hybrid_reference":
+                continue
+            values = curves.get(name)
             if values is None or len(values) != len(contexts):
-                problems.append(f"{name}.{phase} length != len(contexts)")
-            elif any(t <= 0 for t in values):
-                problems.append(f"{name}.{phase} has non-positive times")
-    for key in ("decode_fast_vs_reference", "prefill_fast_vs_reference"):
-        values = payload["speedup"].get(key)
-        if values is None or len(values) != len(contexts):
-            problems.append(f"speedup.{key} length != len(contexts)")
+                problems.append(
+                    f"speedup.{phase}.{name} length != len(contexts)")
+            elif phase == "decode" and any(v is None for v in values):
+                problems.append(f"speedup.decode.{name} has null entries")
     return problems
 
 
@@ -216,7 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.micro",
         description="Attention prefill/decode microbenchmark "
-                    "(sliding-window vs hybrid vs fast-hybrid).")
+                    "(sliding-window vs hybrid reference/fast/tiled vs "
+                    "antidiagonal block scoring).")
     parser.add_argument("--contexts", type=int, nargs="+",
                         default=[512, 1024, 2048, 4096])
     parser.add_argument("--repeats", type=int, default=5)
@@ -228,6 +330,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--n-kv-heads", type=int, default=2)
     parser.add_argument("--head-dim", type=int, default=64)
     parser.add_argument("--block-size", type=int, default=256)
+    parser.add_argument("--prefill-tile", type=int, default=4096,
+                        help="K/V column-tile size of the tiled prefill "
+                             "series")
+    parser.add_argument("--max-reference-context", type=int, default=16384,
+                        help="largest context at which the quadratic "
+                             "prefill series (reference, monolithic fast) "
+                             "are still measured; null beyond")
     parser.add_argument("--out-dir", type=pathlib.Path, default=None,
                         help="directory for BENCH_attention.json "
                              "(default: results/)")
@@ -237,6 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         n_sink=args.n_sink, top_k=args.top_k, threshold=args.threshold,
         n_q_heads=args.n_q_heads, n_kv_heads=args.n_kv_heads,
         head_dim=args.head_dim, block_size=args.block_size,
+        prefill_tile=args.prefill_tile,
+        max_reference_context=args.max_reference_context,
         out_dir=args.out_dir)
     print(table.render())
     out_dir = args.out_dir if args.out_dir is not None else results_dir()

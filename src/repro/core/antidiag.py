@@ -1,0 +1,321 @@
+"""XAttention-style antidiagonal block-scoring pre-filter backend.
+
+An alternative to sign-concordance filtering (:mod:`repro.core.scf`) for
+ranking the offloaded sparse region: keys are grouped into fixed blocks
+and each block's importance for a query is estimated from **strided
+antidiagonal sums** of its keys.  For block ``b`` with stride ``S``, the
+cache maintains residue sums
+
+    K_sum[b, s] = sum of keys j in block b with (j mod B) mod S == s
+
+and a query at position ``p`` scores block ``b`` as
+``q . K_sum[b, (S - 1 - p) mod S]``.  Consecutive queries rotate through
+the residue classes, so the sampled (query, key) pairs sweep the
+antidiagonals of each (query block x key block) score tile — the pattern
+XAttention showed is the strongest cheap predictor of block attention
+mass.  Per query, blocks are ranked by softmax weight and selected until
+their cumulative mass reaches ``antidiag_tau`` (capped at
+``antidiag_max_blocks``); all columns of the selected blocks are then
+attended exactly, together with the dense sinks + sliding window, under
+one softmax.
+
+Cost per query: one dot against ``n_ctx / B`` summary vectors instead of
+``n_ctx`` keys — an ``S/B`` fraction of the dense score work — plus exact
+attention over at most ``max_blocks * B`` retrieved columns.
+
+**Approximation envelope** (unlike SCF + exact top-k, which loses nothing
+the threshold does not discard):
+
+- selection is block-granular: a high-scoring key inside a low-scoring
+  block is missed;
+- blocks straddling the sliding-window frontier of a query are not
+  candidates for it (only *fully* past blocks are scored), so up to
+  ``B - 1`` sparse columns nearest the window are unreachable for that
+  query;
+- the trailing partial block's residue sums cover fewer keys and score
+  proportionally low.
+
+With ``antidiag_tau = 1.0`` and an unbounded block budget every candidate
+block is selected, which makes the attended set exactly the causal
+sinks + window + all fully-past blocks; when block boundaries align with
+the sparse region this equals full dense attention (the exactness anchor
+used by the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import LongSightConfig
+from repro.core.hybrid import SlidingWindowAttention, _record_split, \
+    _region_masks
+from repro.core.metrics import FilterStats
+from repro.obs import Obs, resolve_obs
+from repro.llm.ops import softmax
+
+if TYPE_CHECKING:
+    from repro.llm.kv_cache import KVCache
+
+
+def block_summaries_from_keys(k: np.ndarray, block: int,
+                              stride: int) -> np.ndarray:
+    """Antidiagonal residue sums computed directly from raw keys.
+
+    The stateless twin of the cache's incremental
+    :class:`~repro.llm.kv_cache.BlockSummary` store, for callers that have
+    the keys in hand (``forward``) or a cache without the summary hook.
+
+    Args:
+        k: ``(n_kv_heads, n_ctx, head_dim)`` keys.
+        block: key-block size ``B``.
+        stride: antidiagonal stride ``S`` (must divide ``B``).
+
+    Returns:
+        ``(n_kv_heads, n_blocks, stride, head_dim)`` sums over
+        ``ceil(n_ctx / B)`` blocks; the trailing partial block sums only
+        the keys that exist.
+    """
+    if block % stride != 0:
+        raise ValueError("block must be a multiple of stride")
+    n_kv_heads, n_ctx, head_dim = k.shape
+    n_blocks = -(-n_ctx // block)
+    pad = n_blocks * block - n_ctx
+    if pad:
+        k = np.concatenate(
+            [k, np.zeros((n_kv_heads, pad, head_dim), dtype=k.dtype)], axis=1)
+    # In-block offset l = a*S + s  =>  l mod S == s: summing axis `a`
+    # leaves exactly the residue classes.
+    return k.reshape(n_kv_heads, n_blocks, block // stride, stride,
+                     head_dim).sum(axis=2)
+
+
+class AntidiagonalAttention:
+    """Hybrid dense+sparse attention with antidiagonal block selection.
+
+    Drop-in peer of :class:`~repro.core.hybrid.LongSightAttention` behind
+    the same duck-typed hooks (``prepare_cache`` / ``forward_cached`` /
+    ``forward`` / ``dense_fallback``), selected by
+    ``config.prefilter == "antidiag"`` via
+    :func:`~repro.core.hybrid.make_backend`.  It exposes **no**
+    ``forward_cached_batch`` hook, so the serving engine automatically
+    keeps its sessions out of session-batched decode groups.
+
+    Args:
+        config: algorithm hyper-parameters; the ``antidiag_*`` fields
+            drive selection, ``window``/``n_sink`` the dense region.
+            SCF-specific fields (thresholds, ITQ, ``top_k``) are unused.
+        stats: optional :class:`FilterStats`; ``passed`` and ``retrieved``
+            both count retrieved sparse columns (there is no separate
+            top-k stage after block selection).
+        obs: observability bundle; ``None`` binds the process default.
+
+    Like the SCF backend it is stateless across calls apart from
+    ``stats`` and the optional ``selection_capture`` debug dict mapping
+    ``(layer, q_head)`` to the selected sparse-column mask.
+    """
+
+    def __init__(self, config: LongSightConfig,
+                 stats: Optional[FilterStats] = None,
+                 obs: Optional[Obs] = None) -> None:
+        self.config = config
+        self.stats = stats
+        self.obs = resolve_obs(obs)
+        self.selection_capture: Optional[
+            Dict[Tuple[int, int], np.ndarray]] = None
+        self._dense_fallback: Optional[SlidingWindowAttention] = None
+
+    # -- cache integration ----------------------------------------------------
+
+    def prepare_cache(self, cache: "KVCache") -> None:
+        """Enable the cache's incremental block-summary store.
+
+        Duck-typed like the sign cache: caches without the hook still
+        work — ``forward_cached`` falls back to recomputing summaries
+        from the raw keys per call.
+        """
+        enable = getattr(cache, "enable_block_summary", None)
+        if enable is not None:
+            enable(self.config.antidiag_block, self.config.antidiag_stride)
+
+    def forward_cached(self, layer: int, q: np.ndarray,
+                       cache: "KVCache") -> np.ndarray:
+        """Cache-aware forward: consumes the summary store when present."""
+        kv = cache.layers[layer]
+        if getattr(kv, "block_summary_enabled", False):
+            summaries = kv.block_summaries
+        else:
+            summaries = block_summaries_from_keys(
+                kv.keys, self.config.antidiag_block,
+                self.config.antidiag_stride)
+        return self._forward(layer, q, kv.keys, kv.values, summaries)
+
+    # -- protocol entry point -------------------------------------------------
+
+    def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                v: np.ndarray) -> np.ndarray:
+        summaries = block_summaries_from_keys(
+            k, self.config.antidiag_block, self.config.antidiag_stride)
+        return self._forward(layer, q, k, v, summaries)
+
+    # -- degradation target ---------------------------------------------------
+
+    def dense_fallback(self) -> SlidingWindowAttention:
+        """Sinks + window with this config's geometry (correctness anchor)."""
+        if self._dense_fallback is None:
+            self._dense_fallback = SlidingWindowAttention(
+                window=self.config.window, n_sink=self.config.n_sink)
+        return self._dense_fallback
+
+    def forward_dense_only(self, layer: int, q: np.ndarray, k: np.ndarray,
+                           v: np.ndarray) -> np.ndarray:
+        """Hybrid attention with the sparse component dropped (degraded)."""
+        return self.dense_fallback().forward(layer, q, k, v)
+
+    # -- core -----------------------------------------------------------------
+
+    def _select_blocks(self, bscores: np.ndarray, valid: np.ndarray
+                       ) -> np.ndarray:
+        """Per-row block choice: top softmax mass >= tau, capped.
+
+        Args:
+            bscores: ``(n_q, n_blocks)`` scaled block scores.
+            valid: ``(n_q, n_blocks)`` candidacy mask (fully-past blocks).
+
+        Returns:
+            ``(n_q, n_blocks)`` boolean selection, a subset of ``valid``.
+        """
+        cfg = self.config
+        masked = np.where(valid, bscores, -np.inf)
+        any_valid = valid.any(axis=1)
+        # Rows with no candidates get a finite filler so softmax stays
+        # NaN-free; their selections are zeroed by `& valid` below.
+        probs = softmax(np.where(any_valid[:, None], masked, 0.0), axis=-1)
+        # Descending score; argsort of the negated scores is stable, so
+        # equal scores (and the -inf invalid tail) break toward lower
+        # block indices — selection is deterministic.
+        order = np.argsort(-masked, axis=1, kind="stable")
+        sorted_probs = np.take_along_axis(probs, order, axis=1)
+        csum = np.cumsum(sorted_probs, axis=1)
+        # Keep a block while the mass accumulated *before* it is < tau:
+        # the first block always qualifies, the one crossing tau is the
+        # last kept.
+        sel_sorted = (csum - sorted_probs) < cfg.antidiag_tau
+        sel_sorted &= np.arange(bscores.shape[1])[None, :] \
+            < cfg.antidiag_max_blocks
+        sel_sorted &= np.take_along_axis(valid, order, axis=1)
+        selected = np.zeros_like(sel_sorted)
+        np.put_along_axis(selected, order, sel_sorted, axis=1)
+        return selected
+
+    def _forward(self, layer: int, q: np.ndarray, k: np.ndarray,
+                 v: np.ndarray, summaries: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        bsize, stride = cfg.antidiag_block, cfg.antidiag_stride
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        q_positions = np.arange(n_ctx - n_new, n_ctx)
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+
+        # Dense region, gathered: sinks plus the union of the query rows'
+        # sliding windows (per-row clipping happens via the region masks).
+        sink_end = min(cfg.n_sink, n_ctx)
+        win_start = max(sink_end, n_ctx - n_new - cfg.window + 1)
+        dense_cols = np.concatenate(
+            [np.arange(sink_end), np.arange(win_start, n_ctx)])
+        dense_mask, _ = _region_masks(q_positions, n_ctx, cfg.n_sink,
+                                      cfg.window, key_positions=dense_cols)
+
+        # Candidate blocks: fully earlier than every-queried window start
+        # they may serve, i.e. block b is scorable for row p iff
+        # (b+1)*B - 1 <= p - window.  Blocks beyond the latest row's
+        # window can serve no one and are not even scored.
+        nb_cand = min(summaries.shape[1],
+                      max(0, (n_ctx - 1) - cfg.window + 1) // bsize)
+        candidates = int(np.clip(
+            q_positions - cfg.window - cfg.n_sink + 1, 0, None).sum())
+        any_sparse = nb_cand > 0 and candidates > 0
+
+        if any_sparse:
+            block_last = (np.arange(nb_cand) + 1) * bsize - 1
+            valid = block_last[None, :] <= (q_positions - cfg.window)[:, None]
+            # Sparse columns below n_sink are attended densely as sinks;
+            # keep their blocks scorable (the sums include sink keys — an
+            # accepted approximation) but never re-attend dense columns.
+            resid = (stride - 1 - q_positions) % stride
+
+        out = np.empty((n_q_heads, n_new, head_dim))
+        passed_total = 0
+        block_offsets = np.arange(bsize)
+        for kv_head in range(n_kv_heads):
+            if any_sparse:
+                summ = summaries[kv_head, :nb_cand]      # (nb, S, d)
+            for g in range(group):
+                h = kv_head * group + g
+                qh = q[h]
+                cols_sparse = np.arange(0)
+                if any_sparse:
+                    with tracer.span("antidiag_select", layer=layer,
+                                     n_blocks=nb_cand):
+                        bscores = np.empty((n_new, nb_cand))
+                        for rr in np.unique(resid):
+                            rows = np.nonzero(resid == rr)[0]
+                            bscores[rows] = qh[rows] @ summ[:, rr].T
+                        sel = self._select_blocks(bscores * scale, valid)
+                    # Gather only this head's selected blocks: per-head
+                    # column sets stay O(max_blocks * B) instead of the
+                    # union across all heads.
+                    chosen = np.nonzero(sel.any(axis=0))[0]
+                    cols_sparse = (chosen[:, None] * bsize
+                                   + block_offsets[None, :]).ravel()
+                retrieved = 0
+                if cols_sparse.size:
+                    _, sparse_m2 = _region_masks(
+                        q_positions, n_ctx, cfg.n_sink, cfg.window,
+                        key_positions=cols_sparse)
+                    cols_all = np.concatenate([dense_cols, cols_sparse])
+                    # A gathered column is attended sparsely iff its block
+                    # is selected for the row AND the column is in the
+                    # row's sparse region — dense columns that also appear
+                    # in a selected block stay exclusively dense, so no
+                    # column is double-counted.
+                    sparse_attend = sel[:, cols_sparse // bsize] & sparse_m2
+                    attend = np.concatenate([dense_mask, sparse_attend],
+                                            axis=1)
+                    retrieved = int(sparse_attend.sum())
+                    if self.selection_capture is not None:
+                        sel_mask = np.zeros((n_new, n_ctx), dtype=bool)
+                        sel_mask[:, cols_sparse] = sparse_attend
+                        self.selection_capture[(layer, h)] = sel_mask
+                else:
+                    cols_all = dense_cols
+                    attend = dense_mask
+                    if self.selection_capture is not None:
+                        self.selection_capture[(layer, h)] = \
+                            np.zeros((n_new, n_ctx), dtype=bool)
+                passed_total += retrieved
+                if self.stats is not None:
+                    per_q = (self.stats.n_kv_heads == n_q_heads
+                             and n_q_heads != n_kv_heads)
+                    self.stats.update(
+                        layer, h if per_q else kv_head,
+                        candidates=candidates, passed=retrieved,
+                        retrieved=retrieved, queries=n_new)
+                with tracer.span("antidiag_attend", layer=layer,
+                                 columns=int(cols_all.shape[0])):
+                    kg = k[kv_head, cols_all]
+                    vg = v[kv_head, cols_all]
+                    scores = (qh @ kg.T) * scale
+                    final = np.where(attend, scores, -np.inf)
+                    probs = softmax(final, axis=-1)
+                    out[h] = probs @ vg
+        if metrics.enabled:
+            _record_split(metrics, n_q_heads * n_new,
+                          int(dense_mask.sum()) * n_q_heads,
+                          candidates * n_q_heads if any_sparse else 0,
+                          passed_total, passed_total)
+        return out

@@ -38,8 +38,9 @@ from repro.core.itq import ItqRotations
 from repro.core.metrics import FilterStats
 from repro.obs import Obs, resolve_obs
 from repro.core.scf import (concordance, concordance_from_signs,
-                            concordance_packed_many, pack_signs, sign_pm1,
-                            unpack_signs_pm1)
+                            concordance_packed_many,
+                            concordance_packed_sessions, mismatches_packed,
+                            pack_signs, sign_pm1, unpack_signs_pm1)
 from repro.core.topk import top_k_mask
 from repro.llm.ops import softmax
 
@@ -173,6 +174,123 @@ class LongSightAttention:
             key_signs = kv.packed_signs
         return self._forward_fast(layer, q, kv.keys, kv.values, key_signs)
 
+    def decode_batch_compatible(self) -> bool:
+        """May this backend join a session-batched decode filter call?
+
+        The batched kernel reproduces the fast path bit-for-bit, so only
+        the reference loop and debug selection capture opt a session out.
+        """
+        return self.use_fast_path and self.selection_capture is None
+
+    def forward_cached_batch(self, layer: int, qs, caches, backends=None,
+                             scratch=None):
+        """Decode-step attention for many sessions, one filter kernel call.
+
+        The serving analogue of :meth:`forward_cached`: ``qs[i]`` is
+        session ``i``'s single-token query block and ``caches[i]`` its KV
+        cache.  Scores, top-k, and softmax stay per-session (identical
+        GEMM shapes — see :meth:`_forward_fast`'s batching note), but the
+        packed-sign XOR+popcount concordance runs **once** for the whole
+        batch across sessions *and* heads, padding the ragged per-session
+        key-sign stores into ``scratch``.  Outputs are bit-identical to
+        calling :meth:`forward_cached` per session.
+
+        Args:
+            layer: decoder layer index.
+            qs: per-session ``(n_q_heads, 1, head_dim)`` query blocks.
+            caches: per-session KV caches (plain or paged).
+            backends: per-session :class:`LongSightAttention` instances
+                (default: ``self`` serves every session); each session's
+                thresholds/rotations/stats resolve through its own backend.
+            scratch: optional :class:`~repro.core.scf.SignScratch` reused
+                across layers and steps for the padded key-sign staging.
+
+        Returns:
+            list of ``(n_q_heads, 1, head_dim)`` outputs, one per session.
+        """
+        n_sessions = len(qs)
+        if backends is None:
+            backends = [self] * n_sessions
+        outputs: list = [None] * n_sessions
+
+        # Per-session geometry and region masks (cheap at n_new=1).  Scores
+        # are NOT computed here: the gathered attend below scores only the
+        # dense and filter-passing columns, so the batch never pays a
+        # full-context gemm per session.
+        per = []
+        sparse_sessions = []
+        for i in range(n_sessions):
+            backend = backends[i]
+            cfg = backend.config
+            q = qs[i]
+            kv = caches[i].layers[layer]
+            n_q_heads, n_new, head_dim = q.shape
+            if n_new != 1:
+                raise ValueError("forward_cached_batch is decode-only "
+                                 "(one query per session)")
+            n_kv_heads = kv.keys.shape[0]
+            group = n_q_heads // n_kv_heads
+            n_ctx = kv.keys.shape[1]
+            q_positions = np.arange(n_ctx - 1, n_ctx)
+            dense_mask, sparse_mask = _region_masks(
+                q_positions, n_ctx, cfg.n_sink, cfg.window)
+            q5 = q.reshape(n_kv_heads, group, 1, head_dim)
+            entry = {"backend": backend, "kv": kv, "cache": caches[i],
+                     "q5": q5, "dense": dense_mask,
+                     "sparse": sparse_mask, "n_ctx": n_ctx,
+                     "geometry": (n_kv_heads, group, head_dim)}
+            per.append(entry)
+            if bool(sparse_mask.any()):
+                sparse_sessions.append(i)
+
+        # One packed concordance call across every session with candidates.
+        conc_by_session = {}
+        if sparse_sessions:
+            tracer = self.obs.tracer
+            with tracer.span("scf_filter_batch", layer=layer,
+                             sessions=len(sparse_sessions)):
+                q_signs = []
+                key_signs = []
+                for i in sparse_sessions:
+                    entry = per[i]
+                    backend = entry["backend"]
+                    cfg = backend.config
+                    kv = entry["kv"]
+                    if cfg.use_itq:
+                        rot = backend.rotations.matrices[layer]
+                        q_f = np.matmul(entry["q5"], rot[:, None])
+                    else:
+                        q_f = entry["q5"]
+                    q_signs.append(pack_signs(q_f))
+                    expected = backend.rotations if cfg.use_itq else None
+                    if kv.sign_cache_enabled \
+                            and entry["cache"].sign_rotations is expected:
+                        key_signs.append(kv.packed_signs)
+                    else:
+                        keys_f = np.matmul(kv.keys, rot) if cfg.use_itq \
+                            else kv.keys
+                        key_signs.append(pack_signs(keys_f))
+                head_dim = per[sparse_sessions[0]]["geometry"][2]
+                conc = concordance_packed_sessions(
+                    np.stack(q_signs), key_signs, head_dim, scratch=scratch)
+                for slot, i in enumerate(sparse_sessions):
+                    conc_by_session[i] = conc[slot, ..., : per[i]["n_ctx"]]
+
+        # Per-session selection, softmax, and output — the *same* gathered
+        # attend as :meth:`_forward_fast`, so solo and batched decode stay
+        # bit-identical by construction.
+        for i in range(n_sessions):
+            entry = per[i]
+            backend = entry["backend"]
+            n_kv_heads, group, _ = entry["geometry"]
+            conc = conc_by_session.get(i)
+            thresholds = backend._threshold_stack(layer, n_kv_heads, group) \
+                if conc is not None else None
+            outputs[i] = backend._attend_small_gathered(
+                layer, entry["q5"], entry["kv"].keys, entry["kv"].values,
+                conc, entry["dense"], entry["sparse"], thresholds)
+        return outputs
+
     # -- protocol entry point -------------------------------------------------
 
     def forward(self, layer: int, q: np.ndarray, k: np.ndarray,
@@ -230,6 +348,13 @@ class LongSightAttention:
         slice with the same row count as the reference loop, so results are
         bit-identical to it (merging a GQA group into a single gemm would
         change blocking and drift in the last ulp).
+
+        Small blocks run the concordance filter *before* any score work and
+        then score only the dense-union and filter-passing columns
+        (:meth:`_attend_small_gathered`) — the software twin of DReX's PIM
+        Filter Units, which never compute scores for filtered-out keys.
+        At long context this is what makes decode O(passed) instead of
+        O(n_ctx) in float work.
         """
         if q.shape[1] > _PACKED_CONC_MAX_NEW:
             return self._forward_fast_large(layer, q, k, v, key_signs)
@@ -237,17 +362,13 @@ class LongSightAttention:
         n_q_heads, n_new, head_dim = q.shape
         n_kv_heads, n_ctx, _ = k.shape
         group = n_q_heads // n_kv_heads
-        scale = 1.0 / np.sqrt(head_dim)
         q_positions = np.arange(n_ctx - n_new, n_ctx)
         dense_mask, sparse_mask = _region_masks(
             q_positions, n_ctx, cfg.n_sink, cfg.window)
-        any_sparse = bool(sparse_mask.any())
-
         q5 = q.reshape(n_kv_heads, group, n_new, head_dim)
-        kt = np.swapaxes(k, -1, -2)[:, None]          # (Hkv, 1, d, n_ctx)
-        scores = np.matmul(q5, kt) * scale            # (Hkv, G, n_new, n_ctx)
 
-        if any_sparse:
+        conc = thresholds = None
+        if bool(sparse_mask.any()):
             if cfg.use_itq:
                 rot = self.rotations.matrices[layer]  # (Hkv, d, d)
                 q_f = np.matmul(q5, rot[:, None])
@@ -260,50 +381,99 @@ class LongSightAttention:
                     key_signs = pack_signs(keys_f)    # (Hkv, n_ctx, nb)
                 conc = concordance_packed_many(
                     q_signs, key_signs[:, None], head_dim)
-                thresholds = self._threshold_stack(layer, n_kv_heads, group)
-                pass_mask = sparse_mask & (conc >= thresholds)
-                sparse_scores = np.where(pass_mask, scores, -np.inf)
-                selected = top_k_mask(sparse_scores, cfg.top_k)
-            attend = dense_mask | selected
-            metrics = self.obs.metrics
-            if metrics.enabled:
-                _record_split(
-                    metrics, n_q_heads * n_new,
-                    int(dense_mask.sum()) * n_q_heads,
-                    int(sparse_mask.sum()) * n_q_heads,
-                    int(pass_mask.sum()), int(selected.sum()))
-            if self.stats is not None:
-                per_q = self._stats_per_q(n_q_heads, n_kv_heads)
-                candidates = int(sparse_mask.sum())
-                passed = pass_mask.sum(axis=(2, 3))
-                retrieved = selected.sum(axis=(2, 3))
-                for kv_head in range(n_kv_heads):
-                    for g in range(group):
-                        h = kv_head * group + g
+            thresholds = self._threshold_stack(layer, n_kv_heads, group)
+        return self._attend_small_gathered(layer, q5, k, v, conc,
+                                           dense_mask, sparse_mask,
+                                           thresholds)
+
+    def _attend_small_gathered(self, layer: int, q5: np.ndarray,
+                               k: np.ndarray, v: np.ndarray,
+                               conc: Optional[np.ndarray],
+                               dense_mask: np.ndarray,
+                               sparse_mask: np.ndarray,
+                               thresholds: Optional[np.ndarray]
+                               ) -> np.ndarray:
+        """Selection, softmax, and output over gathered columns only.
+
+        Shared tail of the small-block fast path and the session-batched
+        decode path (:meth:`forward_cached_batch` calls it per session with
+        the batched kernel's concordance slice), which keeps solo and
+        batched decode bit-identical by construction.
+
+        Scores are computed per KV head over the union of dense columns
+        and that head's filter-passing columns — never the full context.
+        Selections are exactly those of full-width scoring: gathering
+        preserves ascending column order, so :func:`top_k_mask`'s
+        lower-index tie-break picks the same keys, and the softmax over
+        the gathered set equals the masked full-width softmax (dropped
+        columns contribute exactly-zero terms).
+
+        Args:
+            q5: ``(n_kv_heads, group, n_new, head_dim)`` queries.
+            conc: ``(n_kv_heads, group, n_new, n_ctx)`` concordance counts,
+                or ``None`` when the context has no sparse region.
+            thresholds: broadcastable threshold stack (required with
+                ``conc``).
+
+        Returns:
+            ``(n_q_heads, n_new, head_dim)`` attention output.
+        """
+        cfg = self.config
+        n_kv_heads, group, n_new, head_dim = q5.shape
+        n_ctx = k.shape[1]
+        n_q_heads = n_kv_heads * group
+        scale = 1.0 / np.sqrt(head_dim)
+        pass_full = sparse_mask & (conc >= thresholds) \
+            if conc is not None else None
+        dense_any = dense_mask.any(axis=0)
+        candidates = int(sparse_mask.sum()) if pass_full is not None else 0
+        per_q = self._stats_per_q(n_q_heads, n_kv_heads)
+        passed_total = 0
+        selected_total = 0
+        out = np.empty((n_q_heads, n_new, head_dim))
+        for kv_head in range(n_kv_heads):
+            if pass_full is not None:
+                cols = np.nonzero(
+                    dense_any | pass_full[kv_head].any(axis=(0, 1)))[0]
+            else:
+                cols = np.nonzero(dense_any)[0]
+            kg = k[kv_head, cols]
+            vg = v[kv_head, cols]
+            dense_g = dense_mask[:, cols]
+            for g in range(group):
+                h = kv_head * group + g
+                scores = (q5[kv_head, g] @ kg.T) * scale
+                if pass_full is not None:
+                    pass_g = pass_full[kv_head, g][:, cols]
+                    sparse_scores = np.where(pass_g, scores, -np.inf)
+                    selected = top_k_mask(sparse_scores, cfg.top_k)
+                    attend = dense_g | selected
+                    n_passed = int(pass_g.sum())
+                    n_selected = int(selected.sum())
+                    passed_total += n_passed
+                    selected_total += n_selected
+                    if self.stats is not None:
                         self.stats.update(
                             layer, h if per_q else kv_head,
-                            candidates=candidates,
-                            passed=int(passed[kv_head, g]),
-                            retrieved=int(retrieved[kv_head, g]),
-                            queries=n_new,
-                        )
-            if self.selection_capture is not None:
-                for kv_head in range(n_kv_heads):
-                    for g in range(group):
-                        h = kv_head * group + g
-                        self.selection_capture[(layer, h)] = \
-                            selected[kv_head, g].copy()
-        else:
-            attend = np.broadcast_to(dense_mask, scores.shape)
-            metrics = self.obs.metrics
-            if metrics.enabled:
-                _record_split(metrics, n_q_heads * n_new,
-                              int(dense_mask.sum()) * n_q_heads, 0, 0, 0)
-
-        final = np.where(attend, scores, -np.inf)
-        probs = softmax(final, axis=-1)
-        out = np.matmul(probs, v[:, None])            # (Hkv, G, n_new, d)
-        return out.reshape(n_q_heads, n_new, head_dim)
+                            candidates=candidates, passed=n_passed,
+                            retrieved=n_selected, queries=n_new)
+                    if self.selection_capture is not None:
+                        sel_full = np.zeros((n_new, n_ctx), dtype=bool)
+                        sel_full[:, cols] = selected
+                        self.selection_capture[(layer, h)] = sel_full
+                else:
+                    attend = dense_g
+                final = np.where(attend, scores, -np.inf)
+                probs = softmax(final, axis=-1)
+                out[h] = probs @ vg
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            _record_split(metrics, n_q_heads * n_new,
+                          int(dense_mask.sum()) * n_q_heads,
+                          candidates * n_q_heads if pass_full is not None
+                          else 0,
+                          passed_total, selected_total)
+        return out
 
     def _forward_fast_large(self, layer: int, q: np.ndarray, k: np.ndarray,
                             v: np.ndarray,
@@ -316,8 +486,14 @@ class LongSightAttention:
         sign store when available — and the candidate count is computed
         once per block.  Every remaining expression matches the reference
         loop's operation for operation, so outputs are bit-identical to it.
+
+        Contexts beyond ``config.prefill_tile`` divert to the IO-aware
+        tiled pipeline (:meth:`_forward_fast_tiled`), which never
+        materializes ``(n_new, n_ctx)`` float temporaries.
         """
         cfg = self.config
+        if cfg.prefill_tile and k.shape[1] > cfg.prefill_tile:
+            return self._forward_fast_tiled(layer, q, k, v, key_signs)
         n_q_heads, n_new, head_dim = q.shape
         n_kv_heads, n_ctx, _ = k.shape
         group = n_q_heads // n_kv_heads
@@ -383,6 +559,196 @@ class LongSightAttention:
             _record_split(metrics, n_q_heads * n_new,
                           int(dense_mask.sum()) * n_q_heads,
                           (candidates * n_q_heads) if any_sparse else 0,
+                          passed_total, selected_total)
+        return out
+
+    def _forward_fast_tiled(self, layer: int, q: np.ndarray, k: np.ndarray,
+                            v: np.ndarray,
+                            key_signs: Optional[np.ndarray]) -> np.ndarray:
+        """IO-aware tiled prefill (FlashAttention-style K/V streaming).
+
+        The monolithic paths materialize ``(n_new, n_ctx)`` score, mask,
+        and concordance arrays per head — at 64k–256k context those
+        temporaries blow past every cache level and dominate prefill time.
+        This pipeline keeps the working set bounded by the tile size:
+
+        - the **dense** region gathers only the sink+window columns
+          (O(window) per query, like :class:`SlidingWindowAttention`);
+        - the **sparse** region streams key tiles of ``config.prefill_tile``
+          columns: per tile, packed XOR+popcount mismatch counts
+          (:func:`~repro.core.scf.mismatches_packed`, word-at-a-time)
+          decide which candidates pass — thresholded directly as
+          ``mismatches <= d - thr`` in their narrow dtype — scores are
+          computed only for columns where some row passes, and a per-row
+          top-k pool of (score, column) pairs is merged via
+          :func:`top_k_mask` over ``pool ++ tile``.
+          Candidates that cannot beat the pool's current k-th best score
+          are pruned before the merge (they lose any tie to an
+          earlier-column pool entry), so steady-state merges stay small;
+        - one final softmax runs over dense ∪ pooled columns with gathered
+          values — scores of unselected keys are never revisited.
+
+        The streaming merge selects exactly the keys the monolithic path
+        selects: pool and tile entries are kept in ascending column order,
+        so relative index order in the merged array equals global column
+        order and :func:`top_k_mask`'s lower-index tie-break is preserved;
+        ``-inf``-scored pool sentinels are never selected.  Outputs match
+        the monolithic path to float round-off (the single softmax sums
+        the same finite terms in a different grouping), and selections
+        match exactly — ``tests/core/test_tiled_prefill.py``.
+        """
+        cfg = self.config
+        n_q_heads, n_new, head_dim = q.shape
+        n_kv_heads, n_ctx, _ = k.shape
+        group = n_q_heads // n_kv_heads
+        scale = 1.0 / np.sqrt(head_dim)
+        q_positions = np.arange(n_ctx - n_new, n_ctx)
+        neg_inf = -np.inf
+        tile = cfg.prefill_tile
+        top_k = cfg.top_k
+        stats_per_q = self._stats_per_q(n_q_heads, n_kv_heads)
+
+        # Dense region: union of sink + window columns across the block.
+        sink_end = min(cfg.n_sink, n_ctx)
+        win_start = max(sink_end, n_ctx - n_new - cfg.window + 1)
+        dense_cols = np.concatenate([np.arange(sink_end),
+                                     np.arange(win_start, n_ctx)])
+        dense_mask, _ = _region_masks(q_positions, n_ctx, cfg.n_sink,
+                                      cfg.window, key_positions=dense_cols)
+        n_dense = len(dense_cols)
+
+        # Sparse candidate span: row p may select columns in
+        # [n_sink, p - window]; the union over the block is [lo, hi).
+        span_lo = cfg.n_sink
+        span_hi = max(span_lo, n_ctx - cfg.window)
+        any_sparse = span_hi > span_lo
+        # Same count the monolithic paths get from sparse_mask.sum().
+        candidates = int(np.clip(q_positions - cfg.window - cfg.n_sink + 1,
+                                 0, None).sum()) if any_sparse else 0
+        any_sparse = any_sparse and candidates > 0
+
+        if any_sparse:
+            q5 = q.reshape(n_kv_heads, group, n_new, head_dim)
+            if cfg.use_itq:
+                rot_bank = self.rotations.matrices[layer]  # (Hkv, d, d)
+                q_f = np.matmul(q5, rot_bank[:, None])
+            else:
+                q_f = q5
+            q_signs = pack_signs(q_f)                 # (Hkv, G, n_new, nb)
+            # Row limit of the candidate region: col <= position - window.
+            cand_hi = (q_positions - cfg.window)[:, None]
+
+        metrics = self.obs.metrics
+        passed_total = selected_total = 0
+        out = np.empty_like(q)
+        for kv_head in range(n_kv_heads):
+            keys = k[kv_head]
+            values = v[kv_head]
+            if any_sparse:
+                # Per-row pools of the best-k (score, column) pairs seen so
+                # far, kept in ascending column order; column n_ctx marks an
+                # empty slot (score -inf, sorts after every real column).
+                pool_scores = np.full((group, n_new, top_k), neg_inf)
+                pool_cols = np.full((group, n_new, top_k), n_ctx,
+                                    dtype=np.int64)
+                passed_g = np.zeros(group, dtype=np.int64)
+                # conc >= thr  <=>  mismatches <= d - thr, so the packed
+                # counts threshold directly in their narrow dtype.
+                mism_thresholds = [
+                    head_dim - cfg.threshold_for(layer, kv_head,
+                                                 kv_head * group + g)
+                    for g in range(group)]
+                for t0 in range(span_lo, span_hi, tile):
+                    t1 = min(t0 + tile, span_hi)
+                    cols_t = np.arange(t0, t1)
+                    cand_t = cols_t[None, :] <= cand_hi   # (n_new, T)
+                    if key_signs is not None:
+                        sk_t = key_signs[kv_head, t0:t1]
+                    else:
+                        keys_f_t = (keys[t0:t1] @ rot_bank[kv_head]
+                                    if cfg.use_itq else keys[t0:t1])
+                        sk_t = pack_signs(keys_f_t)
+                    mism_t = mismatches_packed(q_signs[kv_head],
+                                               sk_t[None])   # (G, n_new, T)
+                    for g in range(group):
+                        pass_t = cand_t & (mism_t[g] <= mism_thresholds[g])
+                        n_pass = int(pass_t.sum())
+                        passed_g[g] += n_pass
+                        if n_pass == 0 or not top_k:
+                            continue          # tile contributes nothing
+                        h = kv_head * group + g
+                        # Score only the columns where some row passed.
+                        cols_any = pass_t.any(axis=0)
+                        sub = np.nonzero(cols_any)[0]
+                        scores_s = (q[h] @ keys[t0 + sub].T) * scale
+                        # Prune candidates that cannot enter the pool: the
+                        # pool's k-th best (its min; -inf while not full)
+                        # wins any tie via its earlier column.
+                        thr_row = pool_scores[g].min(axis=1)
+                        survive = pass_t[:, sub] \
+                            & (scores_s > thr_row[:, None])
+                        alive = survive.any(axis=0)
+                        if not bool(alive.any()):
+                            continue
+                        scores_s = scores_s[:, alive]
+                        cand_scores = np.where(survive[:, alive], scores_s,
+                                               neg_inf)
+                        cand_cols = np.broadcast_to(
+                            t0 + sub[alive], cand_scores.shape)
+                        merged_s = np.concatenate(
+                            [pool_scores[g], cand_scores], axis=1)
+                        merged_c = np.concatenate(
+                            [pool_cols[g], cand_cols], axis=1)
+                        keep = top_k_mask(merged_s, top_k)
+                        kept_c = np.where(keep, merged_c, n_ctx)
+                        order = np.argsort(kept_c, axis=1,
+                                           kind="stable")[:, :top_k]
+                        pool_cols[g] = np.take_along_axis(kept_c, order,
+                                                          axis=1)
+                        pool_scores[g] = np.take_along_axis(
+                            np.where(keep, merged_s, neg_inf), order, axis=1)
+                passed_total += int(passed_g.sum())
+
+            kg = keys[dense_cols]
+            vg = values[dense_cols]
+            for g in range(group):
+                h = kv_head * group + g
+                d_scores = (q[h] @ kg.T) * scale
+                d_scores = np.where(dense_mask, d_scores, neg_inf)
+                if any_sparse:
+                    sel_cols = pool_cols[g]
+                    sel_scores = pool_scores[g]
+                    valid = sel_cols < n_ctx
+                    retrieved = int(valid.sum())
+                    if metrics.enabled:
+                        selected_total += retrieved
+                    if self.stats is not None:
+                        self.stats.update(
+                            layer, h if stats_per_q else kv_head,
+                            candidates=candidates,
+                            passed=int(passed_g[g]),
+                            retrieved=retrieved,
+                            queries=n_new,
+                        )
+                    if self.selection_capture is not None:
+                        sel_mask = np.zeros((n_new, n_ctx), dtype=bool)
+                        rows, slots = np.nonzero(valid)
+                        sel_mask[rows, sel_cols[rows, slots]] = True
+                        self.selection_capture[(layer, h)] = sel_mask
+                    combined = np.concatenate([d_scores, sel_scores], axis=1)
+                else:
+                    combined = d_scores
+                probs = softmax(combined, axis=-1)
+                out_h = probs[:, :n_dense] @ vg
+                if any_sparse and top_k:
+                    v_sel = values[np.minimum(sel_cols, n_ctx - 1)]
+                    out_h += np.einsum("nk,nkd->nd", probs[:, n_dense:],
+                                       v_sel)
+                out[h] = out_h
+        if metrics.enabled:
+            _record_split(metrics, n_q_heads * n_new,
+                          int(dense_mask.sum()) * n_q_heads,
+                          candidates * n_q_heads if any_sparse else 0,
                           passed_total, selected_total)
         return out
 
@@ -508,3 +874,28 @@ class SlidingWindowAttention:
         probs = softmax(final, axis=-1)
         out = np.matmul(probs, vg[:, None])
         return out.reshape(n_q_heads, n_new, head_dim)
+
+
+def make_backend(config: LongSightConfig,
+                 rotations: Optional[ItqRotations] = None,
+                 stats: Optional[FilterStats] = None,
+                 use_fast_path: bool = True,
+                 obs: Optional[Obs] = None):
+    """Build the attention backend selected by ``config.prefilter``.
+
+    The two pre-filter families share the duck-typed
+    ``prepare_cache`` / ``forward_cached`` / ``forward`` /
+    ``dense_fallback`` hooks, so callers can swap them by config alone:
+
+    - ``"scf"``: :class:`LongSightAttention` — sign-concordance filtering
+      plus exact top-k (the paper's mechanism).
+    - ``"antidiag"``: :class:`~repro.core.antidiag.AntidiagonalAttention`
+      — XAttention-style antidiagonal block scoring (``rotations`` and
+      ``use_fast_path`` do not apply and are ignored).
+    """
+    if config.prefilter == "antidiag":
+        # Deferred import: repro.core.antidiag imports this module.
+        from repro.core.antidiag import AntidiagonalAttention
+        return AntidiagonalAttention(config, stats=stats, obs=obs)
+    return LongSightAttention(config, rotations=rotations, stats=stats,
+                              use_fast_path=use_fast_path, obs=obs)

@@ -15,6 +15,8 @@ Two implementations are provided:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 
@@ -148,19 +150,122 @@ def concordance_packed_many(q_packed: np.ndarray, k_packed: np.ndarray,
         directly, so no per-query sign extraction of the key history is
         needed.
     """
+    return d - mismatches_packed(q_packed, k_packed).astype(np.int64)
+
+
+def mismatches_packed(q_packed: np.ndarray, k_packed: np.ndarray
+                      ) -> np.ndarray:
+    """Per-pair mismatching-bit counts from packed signs (XOR + popcount).
+
+    The raw form of :func:`concordance_packed_many` —
+    ``concordance = d - mismatches`` — in the narrowest dtype the count
+    fits (uint8 for one 64-bit word, uint16 beyond).  Thresholding callers
+    (``conc >= thr  <=>  mismatches <= d - thr``) use it directly to skip
+    the int64 conversion pass; this matters in the tiled prefill loop
+    where the count array is the single largest temporary.
+
+    When both inputs' byte axes are contiguous multiples of 8, the packed
+    bytes reinterpret losslessly as uint64 words and each word pair costs
+    one XOR + one popcount instruction.
+    """
+    nb = q_packed.shape[-1]
+    if (_HAS_BITWISE_COUNT and nb and nb % 8 == 0
+            and q_packed.strides[-1] == 1 and k_packed.strides[-1] == 1):
+        qw = q_packed.view(np.uint64)
+        kw = k_packed.view(np.uint64)
+        acc = np.bitwise_count(qw[..., :, None, 0] ^ kw[..., None, :, 0])
+        if nb > 8:
+            acc = acc.astype(np.uint16)
+            for word in range(1, nb // 8):
+                acc += np.bitwise_count(qw[..., :, None, word]
+                                        ^ kw[..., None, :, word])
+        return acc
     xor = np.bitwise_xor(q_packed[..., :, None, :], k_packed[..., None, :, :])
-    if _HAS_BITWISE_COUNT and xor.shape[-1] % 8 == 0:
-        # Count 64 bits per popcount instruction instead of 8: the xor
-        # result is freshly materialized (hence contiguous), so whole bytes
-        # reinterpret losslessly as uint64 words.
-        words = xor.view(np.uint64)
-        mismatches = np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
-    else:
-        mismatches = _popcount(xor).sum(axis=-1, dtype=np.int64)
-    return d - mismatches
+    return _popcount(xor).sum(axis=-1, dtype=np.uint16)
 
 
 def scf_filter_packed(q_packed: np.ndarray, k_packed: np.ndarray, d: int,
                       threshold: float) -> np.ndarray:
     """Packed-representation twin of :func:`scf_filter`."""
     return concordance_packed(q_packed, k_packed, d) >= threshold
+
+
+# --- session-batched path (serving hot loop) --------------------------------
+
+
+class SignScratch:
+    """One growable byte buffer reused across layers and decode steps.
+
+    The session-batched concordance kernel needs a padded
+    ``(n_sessions, n_kv_heads, max_ctx, n_bytes)`` staging area for the
+    ragged per-session key-sign stores.  Allocating it per layer per step
+    churns the allocator (every decode step of every layer would request a
+    multi-megabyte array at long context); instead callers hold one
+    :class:`SignScratch` and borrow views of the required shape.  The
+    backing buffer only ever grows (geometrically), so steady-state decode
+    performs zero allocations here.
+    """
+
+    def __init__(self) -> None:
+        self._buf = np.empty(0, dtype=np.uint8)
+        #: number of backing-buffer (re)allocations — observability for the
+        #: allocator-churn regression tests.
+        self.allocations = 0
+
+    def borrow(self, shape: tuple) -> np.ndarray:
+        """A C-contiguous uint8 view of ``shape`` over the shared buffer.
+
+        Contents are unspecified (callers overwrite the region they read);
+        the view is only valid until the next :meth:`borrow`.
+        """
+        n = 1
+        for dim in shape:
+            n *= int(dim)
+        if n > self._buf.size:
+            cap = 1 << max(10, (n - 1).bit_length())
+            self._buf = np.empty(cap, dtype=np.uint8)
+            self.allocations += 1
+        return self._buf[:n].reshape(shape)
+
+
+def concordance_packed_sessions(q_packed: np.ndarray, key_signs, d: int,
+                                scratch: Optional[SignScratch] = None
+                                ) -> np.ndarray:
+    """Ragged-session concordance in **one** packed XOR+popcount call.
+
+    The serving engine decodes a whole continuous batch per step; filtering
+    each session with its own :func:`concordance_packed_many` call pays the
+    numpy dispatch overhead ``n_sessions * n_layers`` times per step.  This
+    kernel pads every session's packed key store into one staging buffer
+    and runs a single batched XOR+popcount over
+    ``(n_sessions, n_kv_heads, G, n_q, max_ctx)``.
+
+    Args:
+        q_packed: ``(n_sessions, ..., n_q, n_bytes)`` packed query signs
+            (identical shape across sessions — one decode query each).
+        key_signs: sequence of ``(n_kv_heads, n_ctx_i, n_bytes)`` packed
+            key stores, one per session, with ragged ``n_ctx_i``.
+        d: true vector dimension.
+        scratch: optional :class:`SignScratch`; when omitted the padded
+            staging buffer is freshly allocated.
+
+    Returns:
+        ``(n_sessions, ..., n_q, max_ctx)`` int64 counts.  Row ``i`` is
+        bit-identical to ``concordance_packed_many`` on session ``i`` over
+        its first ``n_ctx_i`` columns; entries beyond a session's length
+        are unspecified and must be sliced off by the caller.
+    """
+    n_sessions = len(key_signs)
+    if q_packed.shape[0] != n_sessions:
+        raise ValueError("one query-sign slab per session required")
+    lengths = [ks.shape[-2] for ks in key_signs]
+    max_ctx = max(lengths) if lengths else 0
+    n_kv_heads, _, n_bytes = key_signs[0].shape
+    shape = (n_sessions, n_kv_heads, max_ctx, n_bytes)
+    padded = scratch.borrow(shape) if scratch is not None \
+        else np.empty(shape, dtype=np.uint8)
+    for i, ks in enumerate(key_signs):
+        padded[i, :, : lengths[i]] = ks
+    # Insert a broadcast axis so every session's key store pairs with all
+    # of its GQA group's query heads: (S, Hkv, 1, max_ctx, nb).
+    return concordance_packed_many(q_packed, padded[:, :, None], d)

@@ -118,6 +118,9 @@ class Transformer:
                  seed: int = 0) -> None:
         self.config = config
         self.weights = weights if weights is not None else init_weights(config, seed)
+        # Lazily-built packed-sign staging buffer shared by every layer of
+        # every decode_step_batch call (see repro.core.scf.SignScratch).
+        self._decode_scratch = None
 
     # -- shared per-layer math ------------------------------------------------
 
@@ -139,21 +142,34 @@ class Transformer:
         k = apply_rope(k, positions, c.rope_theta)
         return q, k, v
 
-    def _layer(self, layer: int, x: np.ndarray, positions: np.ndarray,
-               cache: KVCache, backend: AttentionBackend) -> np.ndarray:
+    def _attn_project(self, layer: int, x: np.ndarray, positions: np.ndarray,
+                      cache: KVCache) -> np.ndarray:
+        """Pre-attention half of a layer: norm, QKV, cache append.
+
+        Returns the post-RoPE queries; keys/values land in the cache.
+        """
         c, w = self.config, self.weights
         h = ops.rms_norm(x, w[f"attn_norm.{layer}"], c.norm_eps)
         q, k, v = self._qkv(layer, h, positions)
         cache.append(layer, k, v)
+        return q
+
+    def _attn_dispatch(self, layer: int, q: np.ndarray, cache: KVCache,
+                       backend: AttentionBackend) -> np.ndarray:
+        """Run the attention backend for one session's query block."""
         # Cache-aware backends (duck-typed) get the cache itself, so they
         # can consume incrementally maintained metadata such as the packed
         # sign store instead of recomputing it from the raw keys.
         fwd_cached = getattr(backend, "forward_cached", None)
         if fwd_cached is not None:
-            attn = fwd_cached(layer, q, cache)
-        else:
-            attn = backend.forward(layer, q, cache.layers[layer].keys,
-                                   cache.layers[layer].values)
+            return fwd_cached(layer, q, cache)
+        return backend.forward(layer, q, cache.layers[layer].keys,
+                               cache.layers[layer].values)
+
+    def _attn_finish(self, layer: int, x: np.ndarray,
+                     attn: np.ndarray) -> np.ndarray:
+        """Post-attention half of a layer: output projection and FFN."""
+        c, w = self.config, self.weights
         n = x.shape[0]
         attn = attn.transpose(1, 0, 2).reshape(n, c.n_q_heads * c.head_dim)
         x = x + attn @ w[f"wo.{layer}"]
@@ -161,6 +177,12 @@ class Transformer:
         x = x + ops.swiglu(h, w[f"w_gate.{layer}"], w[f"w_up.{layer}"],
                            w[f"w_down.{layer}"])
         return x
+
+    def _layer(self, layer: int, x: np.ndarray, positions: np.ndarray,
+               cache: KVCache, backend: AttentionBackend) -> np.ndarray:
+        q = self._attn_project(layer, x, positions, cache)
+        attn = self._attn_dispatch(layer, q, cache, backend)
+        return self._attn_finish(layer, x, attn)
 
     @staticmethod
     def _prepare_cache(cache: KVCache, backend: AttentionBackend) -> None:
@@ -237,6 +259,24 @@ class Transformer:
             x = self._layer(layer, x, positions, cache, backend)
         return self._unembed(x)[0]
 
+    def _decode_batch_groups(self, backends) -> list:
+        """Indices of sessions eligible for one batched filter call.
+
+        Sessions group by exact backend class; a class joins when it
+        exposes the duck-typed ``forward_cached_batch`` hook and each
+        instance reports ``decode_batch_compatible()``.  Groups of one
+        fall back to the ordinary per-session dispatch.
+        """
+        groups: Dict[type, list] = {}
+        for i, backend in enumerate(backends):
+            if getattr(backend, "forward_cached_batch", None) is None:
+                continue
+            compatible = getattr(backend, "decode_batch_compatible", None)
+            if compatible is None or not compatible():
+                continue
+            groups.setdefault(type(backend), []).append(i)
+        return [idxs for idxs in groups.values() if len(idxs) > 1]
+
     def decode_step_batch(self, tokens, caches,
                           backends=None) -> list:
         """One decode step for many independent sessions (layer-major).
@@ -245,10 +285,18 @@ class Transformer:
         continuous-batching serving engine: sessions are traversed
         layer-major (all sessions' layer 0, then layer 1, ...), so each
         layer's weight matrices are touched once per step instead of once
-        per session.  Every per-session operation keeps exactly the shapes
+        per session.  Every per-session GEMM keeps exactly the shapes
         and order of :meth:`decode_step` — merging sessions into one GEMM
         would change BLAS blocking and drift in the last ulp — so the
         logits of each session are bit-identical to stepping it alone.
+
+        Attention *filtering*, however, is session-batched: backends that
+        expose the duck-typed ``forward_cached_batch`` hook (the hybrid
+        fast path) have their packed-sign concordance for the whole decode
+        batch computed in one XOR+popcount kernel call per layer, staged
+        through one preallocated :class:`~repro.core.scf.SignScratch`
+        buffer that is reused across layers and steps.  The hook's
+        contract requires bit-identical outputs to per-session dispatch.
 
         Args:
             tokens: one pending token id per session.
@@ -268,13 +316,33 @@ class Transformer:
             raise ValueError("need one backend per session")
         for cache, backend in zip(caches, backends):
             self._prepare_cache(cache, backend)
+        batch_groups = self._decode_batch_groups(backends)
+        if batch_groups and self._decode_scratch is None:
+            # Deferred import: repro.llm must not depend on repro.core at
+            # module load (the cores import the llm substrate).
+            from repro.core.scf import SignScratch
+
+            self._decode_scratch = SignScratch()
         xs = [self.weights["embed"][np.asarray([token])] for token in tokens]
         positions = [np.arange(len(cache), len(cache) + 1)
                      for cache in caches]
         for layer in range(self.config.n_layers):
+            qs = [self._attn_project(layer, xs[i], positions[i], caches[i])
+                  for i in range(n)]
+            attns: list = [None] * n
+            for idxs in batch_groups:
+                lead = backends[idxs[0]]
+                outs = lead.forward_cached_batch(
+                    layer, [qs[i] for i in idxs], [caches[i] for i in idxs],
+                    backends=[backends[i] for i in idxs],
+                    scratch=self._decode_scratch)
+                for i, out in zip(idxs, outs):
+                    attns[i] = out
             for i in range(n):
-                xs[i] = self._layer(layer, xs[i], positions[i], caches[i],
-                                    backends[i])
+                if attns[i] is None:
+                    attns[i] = self._attn_dispatch(layer, qs[i], caches[i],
+                                                   backends[i])
+                xs[i] = self._attn_finish(layer, xs[i], attns[i])
         return [self._unembed(x)[0] for x in xs]
 
 

@@ -1,0 +1,71 @@
+"""Every registered benchmark must ship a valid committed artifact.
+
+``repro.bench.registry`` lists each ``BENCH_*.json`` a CLI writes; this
+suite fails when an artifact is missing from ``results/``, unparseable,
+schema-stale, or invalid under the owning module's ``validate_payload``.
+That makes "bench exists but its numbers were never committed" a test
+failure rather than a silent gap.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.registry import (REGISTRY, BenchSpec, check_all,
+                                  check_artifact)
+from repro.bench.tables import results_dir
+
+
+def test_registry_covers_known_artifacts():
+    names = {spec.result_name for spec in REGISTRY.values()}
+    assert names == {"BENCH_attention.json", "BENCH_chaos.json",
+                     "BENCH_serve.json", "BENCH_obs.json"}
+
+
+@pytest.mark.parametrize("bench_tag", sorted(REGISTRY))
+def test_committed_artifact_is_valid(bench_tag):
+    spec = REGISTRY[bench_tag]
+    problems = check_artifact(spec)
+    assert problems == [], "\n".join(problems)
+
+
+def test_check_all_matches_per_spec_checks():
+    assert check_all() == []
+
+
+def test_missing_artifact_is_reported(tmp_path):
+    problems = check_artifact(REGISTRY["chaos"], tmp_path)
+    assert len(problems) == 1
+    assert "missing" in problems[0]
+    assert "repro.bench.chaos" in problems[0]
+
+
+def test_unparseable_artifact_is_reported(tmp_path):
+    spec = REGISTRY["serve"]
+    (tmp_path / spec.result_name).write_text("{not json")
+    problems = check_artifact(spec, tmp_path)
+    assert problems and "unparseable" in problems[0]
+
+
+def test_stale_schema_version_is_reported(tmp_path):
+    spec = REGISTRY["attention_micro"]
+    payload = json.loads((results_dir() / spec.result_name).read_text())
+    payload["schema_version"] = 0
+    (tmp_path / spec.result_name).write_text(json.dumps(payload))
+    problems = check_artifact(spec, tmp_path)
+    assert any("schema_version" in p for p in problems)
+
+
+def test_wrong_benchmark_tag_is_reported(tmp_path):
+    spec = REGISTRY["obs_overhead"]
+    payload = json.loads((results_dir() / spec.result_name).read_text())
+    payload["benchmark"] = "something_else"
+    (tmp_path / spec.result_name).write_text(json.dumps(payload))
+    problems = check_artifact(spec, tmp_path)
+    assert any("benchmark tag" in p for p in problems)
+
+
+def test_unregistered_spec_roundtrip(tmp_path):
+    """A new BenchSpec line is all a future bench needs to be enforced."""
+    spec = BenchSpec("repro.bench.chaos", "BENCH_future.json", "future")
+    assert "missing" in check_artifact(spec, tmp_path)[0]

@@ -1,0 +1,268 @@
+"""Antidiagonal block-scoring backend: exactness anchor + recall envelope.
+
+The backend is approximate by design, so the tests pin what *is* exact:
+
+- the incremental :class:`BlockSummary` store equals the stateless
+  summaries recomputed from raw keys, for any append pattern;
+- with ``tau = 1.0``, an unbounded block budget, and block-aligned
+  geometry the attended set is the full causal context, so the output
+  equals dense attention to float round-off (the exactness anchor);
+- selected sparse columns always lie inside the causal sparse region and
+  respect the ``max_blocks`` budget (the documented recall envelope);
+- cached (plain and paged) and stateless entry points agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.antidiag import (AntidiagonalAttention,
+                                 block_summaries_from_keys)
+from repro.core.config import LongSightConfig
+from repro.core.hybrid import LongSightAttention, make_backend
+from repro.core.metrics import FilterStats
+from repro.llm.config import ModelConfig
+from repro.llm.kv_cache import BlockSummary, KVCache
+from repro.llm.ops import softmax
+from repro.serve.paged_kv import PagedKVPool
+
+
+def _dense_causal(q, k, v):
+    """Full causal attention, the anchor oracle."""
+    n_q_heads, n_new, head_dim = q.shape
+    n_kv_heads, n_ctx, _ = k.shape
+    group = n_q_heads // n_kv_heads
+    scale = 1.0 / np.sqrt(head_dim)
+    causal = (np.arange(n_ctx)[None, :]
+              <= np.arange(n_ctx - n_new, n_ctx)[:, None])
+    out = np.empty_like(q, dtype=float)
+    for h in range(n_q_heads):
+        scores = np.where(causal, (q[h] @ k[h // group].T) * scale, -np.inf)
+        out[h] = softmax(scores, axis=-1) @ v[h // group]
+    return out
+
+
+def _qkv(rng, n_q_heads, n_kv_heads, n_new, n_ctx, head_dim):
+    return (rng.normal(size=(n_q_heads, n_new, head_dim)),
+            rng.normal(size=(n_kv_heads, n_ctx, head_dim)),
+            rng.normal(size=(n_kv_heads, n_ctx, head_dim)))
+
+
+# -- incremental summary store -----------------------------------------------
+
+
+def test_block_summary_incremental_matches_stateless():
+    rng = np.random.default_rng(0)
+    store = BlockSummary(2, 16, block=8, stride=4)
+    chunks, total = [], 0
+    for n in (1, 5, 8, 3, 17, 2, 1):
+        k = rng.normal(size=(2, n, 16)).astype(np.float32)
+        store.update(k, total)
+        chunks.append(k)
+        total += n
+        ref = block_summaries_from_keys(
+            np.concatenate(chunks, axis=1), 8, 4)
+        np.testing.assert_allclose(store.summaries, ref, atol=1e-5)
+    assert len(store) == total
+    assert store.summaries.shape == (2, -(-total // 8), 4, 16)
+
+
+def test_block_summary_rejects_gaps():
+    store = BlockSummary(1, 8, block=4, stride=2)
+    store.update(np.zeros((1, 3, 8), dtype=np.float32), 0)
+    with pytest.raises(ValueError):
+        store.update(np.zeros((1, 1, 8), dtype=np.float32), 5)
+
+
+def test_block_summary_validates_geometry():
+    with pytest.raises(ValueError):
+        BlockSummary(1, 8, block=6, stride=4)  # not a multiple
+
+
+def test_config_validates_antidiag_fields():
+    with pytest.raises(ValueError):
+        LongSightConfig(antidiag_block=6, antidiag_stride=4)
+    with pytest.raises(ValueError):
+        LongSightConfig(antidiag_tau=0.0)
+    with pytest.raises(ValueError):
+        LongSightConfig(prefilter="nope")
+
+
+# -- exactness anchor ---------------------------------------------------------
+
+
+def test_tau_one_aligned_decode_equals_dense():
+    """tau=1 + unbounded budget + aligned geometry == dense attention.
+
+    Decode query at position 255 with window 64: the sparse frontier is
+    p - window = 191, and 192 is a multiple of block=16, so the candidate
+    blocks tile the sparse region exactly; tau=1.0 selects all of them.
+    """
+    rng = np.random.default_rng(1)
+    cfg = LongSightConfig(window=64, n_sink=0, prefilter="antidiag",
+                          antidiag_block=16, antidiag_stride=4,
+                          antidiag_tau=1.0, antidiag_max_blocks=10 ** 6)
+    q, k, v = _qkv(rng, 4, 2, 1, 256, 32)
+    out = AntidiagonalAttention(cfg).forward(0, q, k, v)
+    np.testing.assert_allclose(out, _dense_causal(q, k, v), atol=1e-12)
+
+
+def test_tau_one_aligned_decode_equals_dense_with_sinks():
+    rng = np.random.default_rng(2)
+    # Sinks are attended densely; block 0's columns below n_sink are
+    # excluded from sparse attention by the region mask, so alignment
+    # only needs the window frontier: p - window + 1 = 120 - 55 = 64+1?
+    # Use p=127, window=32 -> frontier 95, +1 = 96 = 12 * 8.
+    cfg = LongSightConfig(window=32, n_sink=8, prefilter="antidiag",
+                          antidiag_block=8, antidiag_stride=8,
+                          antidiag_tau=1.0, antidiag_max_blocks=10 ** 6)
+    q, k, v = _qkv(rng, 2, 2, 1, 128, 16)
+    out = AntidiagonalAttention(cfg).forward(0, q, k, v)
+    np.testing.assert_allclose(out, _dense_causal(q, k, v), atol=1e-12)
+
+
+def test_short_context_is_pure_dense():
+    """No sparse region: output equals the dense sliding-window anchor."""
+    rng = np.random.default_rng(3)
+    cfg = LongSightConfig(window=64, n_sink=4, prefilter="antidiag",
+                          antidiag_block=8, antidiag_stride=4)
+    q, k, v = _qkv(rng, 4, 2, 5, 40, 16)
+    att = AntidiagonalAttention(cfg)
+    np.testing.assert_allclose(att.forward(0, q, k, v),
+                               _dense_causal(q, k, v), atol=1e-12)
+
+
+# -- recall envelope ----------------------------------------------------------
+
+
+def test_selection_stays_in_sparse_region_and_respects_budget():
+    rng = np.random.default_rng(4)
+    cfg = LongSightConfig(window=16, n_sink=4, prefilter="antidiag",
+                          antidiag_block=8, antidiag_stride=4,
+                          antidiag_tau=0.9, antidiag_max_blocks=3)
+    q, k, v = _qkv(rng, 4, 2, 32, 256, 16)
+    att = AntidiagonalAttention(cfg)
+    att.selection_capture = {}
+    att.forward(0, q, k, v)
+    assert set(att.selection_capture) == {(0, h) for h in range(4)}
+    q_positions = np.arange(256 - 32, 256)
+    for sel in att.selection_capture.values():
+        rows, cols = np.nonzero(sel)
+        p = q_positions[rows]
+        assert (cols >= cfg.n_sink).all()
+        assert (cols <= p - cfg.window).all()
+        # per-row budget: at most max_blocks full blocks
+        per_row = sel.sum(axis=1)
+        assert (per_row <= cfg.antidiag_max_blocks * cfg.antidiag_block).all()
+        # tau=0.9 with a tight cap must actually prune something
+        assert sel.sum() < (np.clip(q_positions - cfg.window - cfg.n_sink + 1,
+                                    0, None)).sum()
+
+
+def test_stats_and_metrics_recorded():
+    rng = np.random.default_rng(5)
+    stats = FilterStats(1, 2)
+    cfg = LongSightConfig(window=16, n_sink=4, prefilter="antidiag",
+                          antidiag_block=8, antidiag_stride=4)
+    q, k, v = _qkv(rng, 4, 2, 8, 128, 16)
+    AntidiagonalAttention(cfg, stats=stats).forward(0, q, k, v)
+    assert stats.queries.sum() > 0
+    assert stats.candidates.sum() > 0
+    assert (stats.passed == stats.retrieved).all()
+    assert stats.retrieved.sum() > 0
+
+
+# -- cache integration --------------------------------------------------------
+
+
+def _model_config():
+    return ModelConfig(name="tiny-antidiag", vocab_size=64, n_layers=2,
+                       n_q_heads=4, n_kv_heads=2, head_dim=16, d_ff=32)
+
+
+def test_forward_cached_plain_paged_and_stateless_agree():
+    rng = np.random.default_rng(6)
+    mc = _model_config()
+    cfg = LongSightConfig(window=16, n_sink=4, prefilter="antidiag",
+                          antidiag_block=8, antidiag_stride=4)
+    att = AntidiagonalAttention(cfg)
+    plain = KVCache(mc)
+    paged = PagedKVPool(mc, n_blocks=32, block_tokens=16).new_cache()
+    att.prepare_cache(plain)
+    att.prepare_cache(paged)
+    assert plain.block_summary_enabled and paged.block_summary_enabled
+    for n in (40, 17, 1, 1, 5):
+        k = rng.normal(size=(2, n, 16)).astype(np.float32)
+        v = rng.normal(size=(2, n, 16)).astype(np.float32)
+        for layer in range(mc.n_layers):
+            plain.append(layer, k, v)
+            paged.append(layer, k, v)
+    q = rng.normal(size=(4, 1, 16))
+    out_plain = att.forward_cached(1, q, plain)
+    out_paged = att.forward_cached(1, q, paged)
+    out_free = att.forward(1, q, plain.layers[1].keys,
+                           plain.layers[1].values)
+    np.testing.assert_allclose(out_plain, out_paged, atol=1e-5)
+    np.testing.assert_allclose(out_plain, out_free, atol=1e-5)
+
+
+def test_forward_cached_without_summary_hook_falls_back():
+    """Caches lacking enable_block_summary still work (on-the-fly sums)."""
+    rng = np.random.default_rng(7)
+    mc = _model_config()
+    cfg = LongSightConfig(window=16, n_sink=4, prefilter="antidiag",
+                          antidiag_block=8, antidiag_stride=4)
+    att = AntidiagonalAttention(cfg)
+    cache = KVCache(mc)  # prepare_cache never called
+    for n in (50, 14):
+        k = rng.normal(size=(2, n, 16)).astype(np.float32)
+        v = rng.normal(size=(2, n, 16)).astype(np.float32)
+        for layer in range(mc.n_layers):
+            cache.append(layer, k, v)
+    q = rng.normal(size=(4, 2, 16))
+    out = att.forward_cached(0, q, cache)
+    ref = att.forward(0, q, cache.layers[0].keys, cache.layers[0].values)
+    np.testing.assert_allclose(out, ref, atol=1e-12)
+
+
+def test_enable_block_summary_idempotent_and_rebuilds_on_new_geometry():
+    rng = np.random.default_rng(8)
+    mc = _model_config()
+    cache = KVCache(mc)
+    k = rng.normal(size=(2, 30, 16)).astype(np.float32)
+    cache.append(0, k, k)
+    cache.enable_block_summary(8, 4)
+    first = cache.layers[0]._block_summary
+    cache.enable_block_summary(8, 4)  # same geometry: no rebuild
+    assert cache.layers[0]._block_summary is first
+    cache.enable_block_summary(16, 4)  # new geometry: rebuilt from keys
+    ref = block_summaries_from_keys(cache.layers[0].keys, 16, 4)
+    np.testing.assert_allclose(cache.layers[0].block_summaries, ref,
+                               atol=1e-5)
+
+
+def test_free_drops_summaries():
+    mc = _model_config()
+    cache = KVCache(mc)
+    cache.enable_block_summary(8, 4)
+    cache.append(0, np.zeros((2, 10, 16), dtype=np.float32),
+                 np.zeros((2, 10, 16), dtype=np.float32))
+    cache.free()
+    assert not cache.block_summary_enabled
+
+
+# -- factory and protocol -----------------------------------------------------
+
+
+def test_make_backend_dispatches_on_prefilter():
+    scf = make_backend(LongSightConfig())
+    assert isinstance(scf, LongSightAttention)
+    anti = make_backend(LongSightConfig(prefilter="antidiag"))
+    assert isinstance(anti, AntidiagonalAttention)
+    # no batched-decode hook: the engine keeps antidiag sessions solo
+    assert getattr(anti, "forward_cached_batch", None) is None
+
+
+def test_dense_fallback_matches_geometry():
+    cfg = LongSightConfig(window=32, n_sink=4, prefilter="antidiag")
+    fb = AntidiagonalAttention(cfg).dense_fallback()
+    assert fb.window == 32 and fb.n_sink == 4
