@@ -4,7 +4,7 @@ Usage:
     python -m repro.bench list
     python -m repro.bench table1 table2 fig7 fig8 fig9 power
     python -m repro.bench fig3a fig3b fig3c fig4 fig10 dynax
-    python -m repro.bench micro chaos serve obs_overhead
+    python -m repro.bench micro chaos serve fleet obs_overhead
     python -m repro.bench all            # everything (trains models once)
 
 Tables print to stdout and are saved under results/.
@@ -22,6 +22,7 @@ def _runners() -> Dict[str, Callable[[], Table]]:
     from repro.bench.chaos import run_chaos
     from repro.bench.dynax import run_dynax
     from repro.bench.micro import run_micro
+    from repro.bench.fleet import run_fleet
     from repro.bench.obs_overhead import run_obs_overhead
     from repro.bench.serve import run_serve
     from repro.bench.fig3 import run_fig3
@@ -48,6 +49,7 @@ def _runners() -> Dict[str, Callable[[], Table]]:
         "micro": run_micro,
         "chaos": run_chaos,
         "serve": run_serve,
+        "fleet": run_fleet,
         "obs_overhead": run_obs_overhead,
     }
 

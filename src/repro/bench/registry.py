@@ -49,6 +49,7 @@ REGISTRY: Dict[str, BenchSpec] = {
                   "attention_micro"),
         BenchSpec("repro.bench.chaos", "BENCH_chaos.json", "chaos"),
         BenchSpec("repro.bench.serve", "BENCH_serve.json", "serve"),
+        BenchSpec("repro.bench.fleet", "BENCH_fleet.json", "fleet"),
         BenchSpec("repro.bench.obs_overhead", "BENCH_obs.json",
                   "obs_overhead"),
     )

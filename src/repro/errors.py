@@ -33,7 +33,27 @@ class PoolExhaustedError(CapacityError):
     Raised by :class:`repro.serve.paged_kv.PagedKVPool`; the serving
     engine's signal to preempt a session (or defer admission) rather than
     crash the batch.  Subclasses :class:`CapacityError` so generic
-    capacity handling keeps working."""
+    capacity handling keeps working.
+
+    Carries the pool's sizing context as structured attributes (``need``,
+    ``free``, ``used``, ``total`` ...) so supervisors can size a retry or
+    a migration target without parsing the message.  All keyword fields
+    are optional: message-only construction keeps working for callers
+    that predate the structured form."""
+
+    def __init__(self, message: str, *, need: int = 0, free: int = 0,
+                 total: int = 0, block_tokens: int = 0, n_layers: int = 0,
+                 shared_prefix_blocks: int = 0,
+                 high_watermark: int = 0) -> None:
+        super().__init__(message)
+        self.need = need
+        self.free = free
+        self.total = total
+        self.used = max(0, total - free)
+        self.block_tokens = block_tokens
+        self.n_layers = n_layers
+        self.shared_prefix_blocks = shared_prefix_blocks
+        self.high_watermark = high_watermark
 
 
 class OffloadTimeoutError(ReproError):

@@ -1,0 +1,152 @@
+"""Fleet-level reduction of per-worker serve reports.
+
+Each worker finishes its run with a normal
+:class:`~repro.serve.events.ServeReport` over the requests it retired
+(a migrated session is reported by the worker it *ended* on, so every
+request appears exactly once fleet-wide).  :class:`FleetReport` reduces
+those: clocks reduce by max (workers ran concurrently on one timeline),
+token counts by sum, SLO percentiles exactly over the pooled events, and
+the per-worker metrics registries through the associative
+:meth:`~repro.obs.MetricsRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.obs import MetricsRegistry, exact_percentile
+from repro.serve.events import RequestEvents, ServeReport
+
+
+@dataclasses.dataclass
+class FleetReport:
+    """Outcome of one :class:`~repro.fleet.router.FleetRouter` run."""
+
+    workers: List[ServeReport]
+    #: associative reduction of every worker's private registry.
+    metrics: MetricsRegistry
+    migrations: int
+    prefix_hits: int
+    prefix_misses: int
+    #: sum of per-pool shared-block peaks (pools are disjoint, so this is
+    #: the fleet's peak resident shared footprint up to step skew).
+    shared_blocks_peak: int
+
+    # -- pooled views ---------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def events(self) -> List[RequestEvents]:
+        return [e for report in self.workers for e in report.events]
+
+    @property
+    def makespan_s(self) -> float:
+        """Fleet wall time: the slowest worker's clock."""
+        return max((report.clock_s for report in self.workers),
+                   default=0.0)
+
+    @property
+    def tokens_generated(self) -> int:
+        return sum(report.tokens_generated for report in self.workers)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Aggregate decode tokens per second of fleet time."""
+        span = self.makespan_s
+        return self.tokens_generated / span if span else 0.0
+
+    @property
+    def completed(self) -> int:
+        return sum(len(report.completed) for report in self.workers)
+
+    @property
+    def shed(self) -> int:
+        return sum(len(report.shed) for report in self.workers)
+
+    @property
+    def rejected(self) -> int:
+        return sum(len(report.rejected) for report in self.workers)
+
+    @property
+    def preemptions(self) -> int:
+        return sum(report.preemptions for report in self.workers)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of full-block prefix lookups served from the cache."""
+        total = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / total if total else 0.0
+
+    # -- SLO metrics (exact, over the pooled events) --------------------------
+
+    def _ttfts(self, tenant: Optional[str] = None) -> List[float]:
+        return [e.ttft_s for e in self.events if e.ttft_s is not None
+                and (tenant is None or e.tenant == tenant)]
+
+    def _tpots(self, tenant: Optional[str] = None) -> List[float]:
+        return [e.tpot_s for e in self.events if e.tpot_s is not None
+                and (tenant is None or e.tenant == tenant)]
+
+    def ttft_percentile_s(self, q: float,
+                          tenant: Optional[str] = None) -> float:
+        return exact_percentile(self._ttfts(tenant), q)
+
+    def tpot_percentile_s(self, q: float,
+                          tenant: Optional[str] = None) -> float:
+        return exact_percentile(self._tpots(tenant), q)
+
+    @property
+    def tenants(self) -> List[str]:
+        seen: List[str] = []
+        for e in self.events:
+            if e.tenant not in seen:
+                seen.append(e.tenant)
+        return sorted(seen)
+
+    def tenant_summary(self) -> Dict[str, Dict]:
+        """Per-tenant fleet SLO metrics (exact percentiles)."""
+        out: Dict[str, Dict] = {}
+        for tenant in self.tenants:
+            mine = [e for e in self.events if e.tenant == tenant]
+            out[tenant] = {
+                "requests": len(mine),
+                "completed": sum(1 for e in mine
+                                 if e.finished_s is not None),
+                "rejected": sum(1 for e in mine if e.rejected),
+                "migrations": sum(e.migrations for e in mine),
+                "ttft_p50_s": self.ttft_percentile_s(50.0, tenant),
+                "ttft_p99_s": self.ttft_percentile_s(99.0, tenant),
+                "tpot_p50_s": self.tpot_percentile_s(50.0, tenant),
+                "tpot_p99_s": self.tpot_percentile_s(99.0, tenant),
+            }
+        return out
+
+    def as_dict(self) -> Dict:
+        """JSON-ready summary (the per-point payload of BENCH_fleet)."""
+        return {
+            "workers": self.n_workers,
+            "makespan_s": self.makespan_s,
+            "tokens_generated": self.tokens_generated,
+            "throughput_tps": self.throughput_tps,
+            "ttft_p50_s": self.ttft_percentile_s(50.0),
+            "ttft_p99_s": self.ttft_percentile_s(99.0),
+            "tpot_p50_s": self.tpot_percentile_s(50.0),
+            "tpot_p99_s": self.tpot_percentile_s(99.0),
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "preemptions": self.preemptions,
+            "migrations": self.migrations,
+            "prefix": {
+                "hits": self.prefix_hits,
+                "misses": self.prefix_misses,
+                "hit_rate": self.prefix_hit_rate,
+                "shared_blocks_peak": self.shared_blocks_peak,
+            },
+            "tenants": self.tenant_summary(),
+            "per_worker": [report.as_dict() for report in self.workers],
+        }

@@ -1,0 +1,289 @@
+"""Fleet routing: placement, migration, and the lockstep stepping loop.
+
+The router owns N workers and drives their :class:`~repro.serve.engine.
+EngineRun` loops on one coherent timeline: each outer iteration steps the
+**laggard** (the busy worker with the smallest clock), so worker clocks
+advance together and cross-worker decisions (dispatch, migration) are
+made against comparable times — the multi-queue analogue of the single
+engine's event loop.
+
+Placement, in priority order:
+
+1. **Session affinity** — a request carrying a ``session`` key goes to
+   the worker already serving that session (its KV blocks, sign store,
+   and prefix index live there).
+2. **Prefix locality** — otherwise prefer the worker whose prefix index
+   holds the longest cached prefix of the request's prompt (attachable
+   blocks beat free blocks: they save prefill work *and* pool space).
+3. **Load** — ties break to the worker with the most free blocks net of
+   blocks already promised to its queued work.
+
+Migration is cross-worker preemption: the source engine detaches the
+victim exactly as local preemption does (blocks freed, state QUEUED,
+generated tokens kept), and the router re-injects it into the target
+worker, where the standard resume path re-prefills ``prompt +
+outputs[:-1]`` and replays the last token — bit-identical to an
+uninterrupted run.  A per-request migration cap prevents ping-pong; a
+request over its cap is re-queued (or shed) locally by the source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.llm.model import Transformer
+from repro.obs import MetricsRegistry, Obs, Tracer, resolve_obs
+from repro.serve.engine import ServeEngine, TimingModel
+from repro.serve.paged_kv import PagedKVPool
+from repro.serve.scheduler import ServeRequest, SloPolicy
+
+from repro.fleet.report import FleetReport
+
+
+class FleetWorker:
+    """One serving shard: an engine plus its identity in the fleet."""
+
+    def __init__(self, worker_id: int, engine: ServeEngine) -> None:
+        self.worker_id = worker_id
+        self.engine = engine
+        self.run = None  # EngineRun, owned by the router during a run
+
+    @property
+    def pool(self) -> PagedKVPool:
+        return self.engine.pool
+
+    @property
+    def obs(self) -> Obs:
+        return self.engine.obs
+
+
+def make_worker(worker_id: int, model: Transformer, backend_factory,
+                n_blocks: int, block_tokens: int = 16,
+                policy: Optional[SloPolicy] = None,
+                timing_factory: Optional[
+                    Callable[[Obs], TimingModel]] = None,
+                prefill_block_size: int = 256,
+                max_steps: int = 1_000_000) -> FleetWorker:
+    """Build a worker with its own prefix-cached pool and metrics registry.
+
+    Every worker gets a private enabled :class:`MetricsRegistry` (tracing
+    off) so per-worker counters merge associatively into the fleet report;
+    ``timing_factory`` receives that bundle so analytic timing attribution
+    lands in the owning worker's registry.
+    """
+    obs = Obs(MetricsRegistry(enabled=True), Tracer(enabled=False))
+    pool = PagedKVPool(model.config, n_blocks, block_tokens,
+                       prefix_caching=True, obs=obs)
+    timing = timing_factory(obs) if timing_factory is not None else None
+    engine = ServeEngine(model, pool, backend_factory, policy=policy,
+                         timing=timing, name=f"worker{worker_id}",
+                         prefill_block_size=prefill_block_size,
+                         max_steps=max_steps, obs=obs)
+    return FleetWorker(worker_id, engine)
+
+
+class FleetRouter:
+    """Route requests over N workers; shed/migrate on pool exhaustion.
+
+    Args:
+        workers: the serving shards (distinct pools; same model family
+            and backend family, or prefix sharing would not be valid).
+        max_migrations: per-request cross-worker relocation budget; a
+            request over budget falls back to the source worker's local
+            preemption/shed handling.
+        obs: router-level bundle for fleet counters (``fleet.dispatched``,
+            ``fleet.migrations``); worker metrics live in each worker's
+            own registry.
+        max_steps: hard bound on total worker steps across the run.
+    """
+
+    def __init__(self, workers: Sequence[FleetWorker],
+                 max_migrations: int = 3,
+                 obs: Optional[Obs] = None,
+                 max_steps: int = 4_000_000) -> None:
+        if not workers:
+            raise ValueError("a fleet needs at least one worker")
+        ids = [w.worker_id for w in workers]
+        if len(ids) != len(set(ids)):
+            raise ValueError("worker ids must be unique")
+        pools = {id(w.pool) for w in workers}
+        if len(pools) != len(workers):
+            raise ValueError("workers must not share a KV pool")
+        self.workers = list(workers)
+        self.max_migrations = max_migrations
+        self.obs = resolve_obs(obs)
+        self.max_steps = max_steps
+        self._affinity: Dict[str, FleetWorker] = {}
+        self.migrations = 0
+
+    # -- the fleet loop -------------------------------------------------------
+
+    def run(self, requests: Sequence[ServeRequest]) -> FleetReport:
+        """Serve ``requests`` across the fleet; returns the fleet report."""
+        for worker in self.workers:
+            worker.run = worker.engine.start([])
+            worker.engine.migrate_handler = self._handler_for(worker)
+        pending = sorted(requests,
+                         key=lambda r: (r.arrival_s, r.request_id))
+        next_dispatch = 0
+        try:
+            for _ in range(self.max_steps):
+                busy = [w for w in self.workers if not w.run.idle]
+                if not busy and next_dispatch >= len(pending):
+                    break
+                # Dispatch every arrival at or before the laggard's clock:
+                # placement decisions are made in arrival order, against
+                # pool/prefix state no worker has stepped past yet.
+                frontier = min((w.run.clock for w in busy),
+                               default=pending[next_dispatch].arrival_s
+                               if next_dispatch < len(pending) else 0.0)
+                while next_dispatch < len(pending) \
+                        and pending[next_dispatch].arrival_s <= frontier:
+                    self._dispatch(pending[next_dispatch])
+                    next_dispatch += 1
+                busy = [w for w in self.workers if not w.run.idle]
+                if not busy:
+                    continue
+                laggard = min(busy,
+                              key=lambda w: (w.run.clock, w.worker_id))
+                laggard.run.step()
+            else:
+                raise RuntimeError(
+                    f"fleet did not converge within {self.max_steps} steps")
+        finally:
+            for worker in self.workers:
+                worker.engine.migrate_handler = None
+        return self._report()
+
+    # -- placement ------------------------------------------------------------
+
+    def _dispatch(self, request: ServeRequest) -> None:
+        worker = self._place(request)
+        if request.session is not None:
+            self._affinity[request.session] = worker
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("fleet.dispatched").inc()
+            metrics.counter(
+                f"fleet.worker{worker.worker_id}.dispatched").inc()
+        worker.run.inject(request)
+
+    def _place(self, request: ServeRequest) -> FleetWorker:
+        """Pick the worker to serve ``request`` (see module docstring)."""
+        if request.session is not None \
+                and request.session in self._affinity:
+            return self._affinity[request.session]
+        fits = [w for w in self.workers
+                if self._session_blocks(w, request) <= w.pool.n_blocks]
+        if not fits:
+            # Nobody can ever hold it; let worker 0's admission shed it
+            # through the standard impossible-fit path.
+            return self.workers[0]
+        prompt = request.prompt
+        return max(fits, key=lambda w: (
+            w.pool.longest_prefix_tokens(prompt),
+            self._free_score(w),
+            -w.worker_id))
+
+    @staticmethod
+    def _session_blocks(worker: FleetWorker,
+                        request: ServeRequest) -> int:
+        """Worst-case block demand of the whole session on this worker."""
+        return worker.pool.blocks_for_tokens(
+            len(request.prompt) + request.max_new_tokens)
+
+    def _free_score(self, worker: FleetWorker) -> int:
+        """Free blocks net of prompt blocks promised to queued work."""
+        pool = worker.pool
+        queued = list(worker.run.scheduler.queued) + worker.run.pending
+        promised = sum(pool.blocks_for_tokens(len(r.resume_tokens))
+                       for r in queued)
+        return pool.n_free - promised
+
+    # -- migration ------------------------------------------------------------
+
+    def _handler_for(self, source: FleetWorker):
+        """The migrate hook installed on ``source``'s engine.
+
+        Receives sessions the source would otherwise preempt-requeue or
+        capacity-shed, already detached (blocks freed, state QUEUED).
+        Returns ``True`` after re-injecting the session into a target
+        worker; ``False`` keeps it on the source (local requeue or shed).
+        """
+        def handler(request: ServeRequest) -> bool:
+            if request.migrations >= self.max_migrations:
+                return False
+            target = self._migration_target(source, request)
+            if target is None:
+                return False
+            request.migrations += 1
+            request.events.migrations += 1
+            self.migrations += 1
+            metrics = self.obs.metrics
+            if metrics.enabled:
+                metrics.counter("fleet.migrations").inc()
+            source_metrics = source.obs.metrics
+            if source_metrics.enabled:
+                source_metrics.counter("serve.migrated_out").inc()
+            target_metrics = target.obs.metrics
+            if target_metrics.enabled:
+                target_metrics.counter("serve.migrated_in").inc()
+            # The relocated session cannot restart before the moment the
+            # source released it; events keep the original arrival for
+            # TTFT accounting.
+            request.arrival_s = max(request.arrival_s, source.run.clock)
+            if request.session is not None:
+                self._affinity[request.session] = target
+            source.run.note_departure(request)
+            target.run.inject(request)
+            return True
+
+        return handler
+
+    def _migration_target(self, source: FleetWorker,
+                          request: ServeRequest) -> Optional[FleetWorker]:
+        """A sibling that can admit the session *now*, or ``None``.
+
+        Requiring immediate admission capacity (resume-prompt blocks free
+        on the target) keeps migration from bouncing a session between
+        two saturated workers.
+        """
+        candidates = []
+        for worker in self.workers:
+            if worker is source:
+                continue
+            pool = worker.pool
+            if self._session_blocks(worker, request) > pool.n_blocks:
+                continue
+            resume_blocks = pool.blocks_for_tokens(
+                len(request.resume_tokens))
+            if resume_blocks > pool.n_free:
+                continue
+            candidates.append(worker)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda w: (
+            w.pool.longest_prefix_tokens(request.prompt),
+            self._free_score(w),
+            -w.worker_id))
+
+    # -- reduction ------------------------------------------------------------
+
+    def _report(self) -> FleetReport:
+        reports = [w.run.finish() for w in self.workers]
+        # Per-worker registries are private, so the associative merge
+        # reduces exactly the fleet's own instruments; router-level
+        # counters (fleet.dispatched, fleet.migrations) stay in the
+        # router's bundle, which may be the shared process default.
+        merged = MetricsRegistry(enabled=True)
+        for worker in self.workers:
+            merged.merge(worker.obs.metrics)
+        return FleetReport(
+            workers=reports,
+            metrics=merged,
+            migrations=self.migrations,
+            prefix_hits=sum(w.pool.prefix_hits for w in self.workers),
+            prefix_misses=sum(w.pool.prefix_misses for w in self.workers),
+            shared_blocks_peak=sum(w.pool.shared_blocks_peak
+                                   for w in self.workers),
+        )

@@ -15,15 +15,16 @@ Layout:
 - :mod:`repro.serve.crossval` — paired workloads vs the analytic simulator.
 """
 
-from repro.serve.engine import AnalyticTiming, ServeEngine
+from repro.serve.engine import AnalyticTiming, EngineRun, ServeEngine
 from repro.serve.events import RequestEvents, ServeReport
 from repro.serve.paged_kv import PagedKVCache, PagedKVPool
 from repro.serve.scheduler import (ContinuousBatchScheduler, RequestState,
-                                   ServeRequest, SloPolicy)
+                                   ServeRequest, SloPolicy, TenantClass)
 
 __all__ = [
     "AnalyticTiming",
     "ContinuousBatchScheduler",
+    "EngineRun",
     "PagedKVCache",
     "PagedKVPool",
     "RequestEvents",
@@ -32,4 +33,5 @@ __all__ = [
     "ServeReport",
     "ServeRequest",
     "SloPolicy",
+    "TenantClass",
 ]

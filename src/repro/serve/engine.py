@@ -31,7 +31,7 @@ replaying the last sampled token through a real decode step.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Protocol, Sequence
+from typing import Callable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -147,7 +147,9 @@ class ServeEngine:
                  timing: Optional[TimingModel] = None,
                  name: str = "serve", prefill_block_size: int = 256,
                  max_steps: int = 1_000_000,
-                 obs: Optional[Obs] = None) -> None:
+                 obs: Optional[Obs] = None,
+                 migrate_handler: Optional[
+                     Callable[[ServeRequest], bool]] = None) -> None:
         self.model = model
         self.pool = pool
         self.backend_factory = backend_factory
@@ -161,6 +163,12 @@ class ServeEngine:
         self.prefill_block_size = prefill_block_size
         self.max_steps = max_steps
         self.obs = resolve_obs(obs)
+        #: optional relocation hook ``(request) -> bool``: offered every
+        #: session this engine would otherwise preempt-requeue or
+        #: capacity-shed; returning ``True`` means the request now lives
+        #: elsewhere (a fleet router re-injected it into another worker).
+        self.migrate_handler = migrate_handler
+        self._active_run: Optional["EngineRun"] = None
 
     # -- session plumbing -----------------------------------------------------
 
@@ -214,100 +222,37 @@ class ServeEngine:
 
     # -- the run loop ---------------------------------------------------------
 
+    def start(self, requests: Sequence[ServeRequest]) -> "EngineRun":
+        """Begin a stepwise run over ``requests``.
+
+        The returned :class:`EngineRun` exposes the loop body of
+        :meth:`run` one step at a time (``step`` / ``inject`` /
+        ``finish``), which is what lets a fleet router interleave many
+        workers on one coherent timeline and inject migrated sessions
+        mid-run.  :meth:`run` is exactly ``start`` + stepping to
+        completion, so solo callers see identical behavior.
+        """
+        run = EngineRun(self, requests)
+        self._active_run = run
+        return run
+
     def run(self, requests: Sequence[ServeRequest]) -> ServeReport:
         """Serve ``requests`` to completion; returns the event report."""
-        scheduler = ContinuousBatchScheduler(self.pool, self.policy,
-                                             obs=self.obs)
-        arrivals = sorted(requests,
-                          key=lambda r: (r.arrival_s, r.request_id))
-        next_arrival = 0
-        clock = 0.0
-        tokens_generated = 0
-        peak_batch = 0
-        metrics = self.obs.metrics
-        tracer = self.obs.tracer
-
-        with tracer.span("serve.run", system=self.name,
-                         requests=len(arrivals)):
+        run = self.start(requests)
+        with self.obs.tracer.span("serve.run", system=self.name,
+                                  requests=len(requests)):
             for _ in range(self.max_steps):
-                while next_arrival < len(arrivals) \
-                        and arrivals[next_arrival].arrival_s <= clock:
-                    scheduler.submit(arrivals[next_arrival])
-                    next_arrival += 1
-                for request in scheduler.admit(clock):
-                    self._attach(request)
-                plan = scheduler.assemble()
-                if plan.empty:
-                    if next_arrival < len(arrivals):
-                        clock = max(clock, arrivals[next_arrival].arrival_s)
-                        continue
+                if not run.step():
                     break
+        return run.finish()
 
-                with tracer.span("engine.step"):
-                    step_s, emitted, degraded_flags = self._execute(
-                        scheduler, plan, clock)
-                if metrics.enabled:
-                    metrics.counter("serve.steps").inc()
-                    metrics.counter("serve.tokens").inc(len(emitted))
-                    metrics.histogram("serve.decode_batch",
-                                      edges=_BATCH_EDGES).observe(
-                                          len(plan.decodes))
-                    metrics.gauge("serve.queue_depth").set(
-                        len(scheduler.queued))
-                    metrics.gauge("serve.running_sessions").set(
-                        len(scheduler.running))
-                if step_s == 0.0 and not emitted:
-                    # Every runnable session is waiting out its overlapped
-                    # prefill charge; jump the clock to the first readiness.
-                    waiting = [r.ready_s for r in scheduler.running
-                               if r.state is RequestState.DECODE
-                               and r.ready_s > clock]
-                    if waiting:
-                        clock = min(waiting)
-                        continue
-                clock += step_s
-                peak_batch = max(peak_batch, len(plan.decodes))
-                tokens_generated += len(emitted)
-                for request in emitted:
-                    stamp = max(clock, request.ready_s)
-                    request.events.token_times_s.append(stamp)
-                    if request.events.first_token_s is None:
-                        request.events.first_token_s = stamp
-                for request, degraded in degraded_flags:
-                    scheduler.note_degraded(request, degraded)
-                    if request.pinned_dense and request.state \
-                            is RequestState.DECODE \
-                            and not self._is_pinned_backend(request):
-                        request.backend = self._dense_pin_of(request.backend)
-                for request in list(plan.decodes):
-                    if request.state is RequestState.DECODE \
-                            and len(request.outputs) >= request.max_new_tokens:
-                        scheduler.request_finished(request, clock)
-
-        # TTFT / TPOT distributions live in the registry; the report reads
-        # its percentiles from these run-scoped exact histograms (or falls
-        # back to the raw events when the registry is a no-op).
-        events = [r.events for r in arrivals]
-        ttft_hist = metrics.new_histogram("serve.ttft_s", track_values=True)
-        tpot_hist = metrics.new_histogram("serve.tpot_s", track_values=True)
-        for event in events:
-            if event.ttft_s is not None:
-                ttft_hist.observe(event.ttft_s)
-            if event.tpot_s is not None:
-                tpot_hist.observe(event.tpot_s)
-
-        return ServeReport(
-            system=self.name,
-            events=events,
-            clock_s=clock,
-            tokens_generated=tokens_generated,
-            peak_decode_batch=peak_batch,
-            preemptions=scheduler.preemptions,
-            pool_blocks=self.pool.n_blocks,
-            pool_high_watermark=self.pool.high_watermark,
-            ttft_hist=ttft_hist if ttft_hist.count else None,
-            tpot_hist=tpot_hist if tpot_hist.count else None,
-        )
+    def _offer_migration(self, request: ServeRequest) -> bool:
+        """Offer a detached (QUEUED, cache-free) session to the router."""
+        if self.migrate_handler is None or not self.migrate_handler(request):
+            return False
+        if self._active_run is not None:
+            self._active_run.note_departure(request)
+        return True
 
     def _is_pinned_backend(self, request: ServeRequest) -> bool:
         from repro.core.hybrid import SlidingWindowAttention
@@ -327,6 +272,18 @@ class ServeEngine:
         # -- chunked prefill --------------------------------------------------
         for request in list(plan.prefills):
             target = request.resume_tokens
+            # First chunk of a fresh (empty) cache: splice in any shared
+            # prompt prefix before computing anything.  Capped at
+            # target[:-1] so at least the final token always runs through
+            # prefill and produces the first-token logits.  Dense-pinned
+            # sessions are excluded: their K/V come from a different
+            # backend family than the pool's shared blocks.
+            if request.prefilled == 0 and request.cache is not None \
+                    and len(request.cache) == 0 \
+                    and self.pool.prefix_caching \
+                    and not request.pinned_dense and len(target) > 1:
+                request.prefilled = request.cache.attach_prefix(
+                    target[:len(target) - 1])
             chunk = min(self.policy.prefill_chunk,
                         len(target) - request.prefilled)
             if not self._ensure_growth(scheduler, request,
@@ -341,6 +298,11 @@ class ServeEngine:
                     block_size=self.prefill_block_size)
             ctx_before = request.prefilled
             request.prefilled += chunk
+            # Publish the freshly written full prompt blocks so later
+            # sessions with the same prompt prefix can attach them.
+            if self.pool.prefix_caching and not request.pinned_dense:
+                prompt_done = min(request.prefilled, len(request.prompt))
+                request.cache.publish_prefix(request.prompt[:prompt_done])
             if self.timing is not None:
                 # Charge prefill at the request's paper-scale prompt
                 # length, scaled to the fraction of prompt processed.
@@ -412,16 +374,197 @@ class ServeEngine:
 
     def _shed_in_flight(self, scheduler: ContinuousBatchScheduler,
                         request: ServeRequest) -> None:
-        """Capacity shed: not even preemption freed room for this request."""
+        """Capacity shed: not even preemption freed room for this request.
+
+        With a fleet router attached the session is offered for migration
+        first — detached exactly like a preemption victim (blocks freed,
+        state QUEUED, resume via re-prefill), so the target worker resumes
+        it bit-identically.  Only when no worker will take it does the
+        request actually shed.
+        """
+        scheduler.running.remove(request)
+        if request.cache is not None:
+            request.cache.free()
+            request.cache = None
+        request.backend = None
+        if self.migrate_handler is not None:
+            request.state = RequestState.QUEUED
+            request.prefilled = 0
+            request.prefill_charge_s = 0.0
+            request.ready_s = 0.0
+            if self._offer_migration(request):
+                return
         metrics = self.obs.metrics
         if metrics.enabled:
             metrics.counter("serve.shed.capacity").inc()
         request.pinned_dense = False
         request.state = RequestState.SHED
         request.events.shed = True
-        if request.cache is not None:
-            request.cache.free()
-            request.cache = None
-        request.backend = None
-        scheduler.running.remove(request)
         scheduler.finished.append(request)
+
+
+class EngineRun:
+    """One in-flight serving run, stepped explicitly.
+
+    Extracted loop body of :meth:`ServeEngine.run`: ``step()`` performs
+    exactly one iteration of the original loop (arrival submission,
+    admission, batch assembly, execution, clock advance, bookkeeping) and
+    returns ``False`` when the run is complete.  A fleet router drives
+    several runs on interleaved clocks and uses :meth:`inject` to hand a
+    migrated session to this worker mid-run; :meth:`note_departure`
+    removes a migrated-away session from this run's report so every
+    request is reported by exactly one worker.
+    """
+
+    def __init__(self, engine: ServeEngine,
+                 requests: Sequence[ServeRequest]) -> None:
+        self.engine = engine
+        self.scheduler = ContinuousBatchScheduler(
+            engine.pool, engine.policy, obs=engine.obs,
+            victim_sink=engine._offer_migration)
+        self._arrivals = sorted(requests,
+                                key=lambda r: (r.arrival_s, r.request_id))
+        self._next_arrival = 0
+        self._departed: set = set()          # id(request) of migrated-away
+        self.clock = 0.0
+        self.tokens_generated = 0
+        self.peak_batch = 0
+
+    # -- router-facing surface ------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """No pending arrivals and nothing queued or running."""
+        return self._next_arrival >= len(self._arrivals) \
+            and self.scheduler.all_done
+
+    @property
+    def next_arrival_s(self) -> Optional[float]:
+        """Arrival time of the next not-yet-submitted request."""
+        if self._next_arrival < len(self._arrivals):
+            return self._arrivals[self._next_arrival].arrival_s
+        return None
+
+    @property
+    def pending(self) -> List[ServeRequest]:
+        """Arrived-but-unsubmitted requests (router load estimation)."""
+        return [r for r in self._arrivals[self._next_arrival:]
+                if id(r) not in self._departed]
+
+    def inject(self, request: ServeRequest) -> None:
+        """Hand a (migrated) request to this run as a future arrival."""
+        self._departed.discard(id(request))
+        idx = self._next_arrival
+        key = (request.arrival_s, request.request_id)
+        while idx < len(self._arrivals) and (
+                self._arrivals[idx].arrival_s,
+                self._arrivals[idx].request_id) <= key:
+            idx += 1
+        self._arrivals.insert(idx, request)
+
+    def note_departure(self, request: ServeRequest) -> None:
+        """Mark a request as migrated away (reported by its new worker)."""
+        self._departed.add(id(request))
+
+    # -- one loop iteration ---------------------------------------------------
+
+    def step(self) -> bool:
+        """One engine-loop iteration; ``False`` when the run is done."""
+        engine = self.engine
+        scheduler = self.scheduler
+        metrics = engine.obs.metrics
+        tracer = engine.obs.tracer
+
+        while self._next_arrival < len(self._arrivals) \
+                and self._arrivals[self._next_arrival].arrival_s \
+                <= self.clock:
+            request = self._arrivals[self._next_arrival]
+            if id(request) not in self._departed:
+                scheduler.submit(request)
+            self._next_arrival += 1
+        for request in scheduler.admit(self.clock):
+            engine._attach(request)
+        plan = scheduler.assemble()
+        if plan.empty:
+            pending = self.next_arrival_s
+            if pending is not None:
+                self.clock = max(self.clock, pending)
+                return True
+            return False
+
+        with tracer.span("engine.step"):
+            step_s, emitted, degraded_flags = engine._execute(
+                scheduler, plan, self.clock)
+        if metrics.enabled:
+            metrics.counter("serve.steps").inc()
+            metrics.counter("serve.tokens").inc(len(emitted))
+            metrics.histogram("serve.decode_batch",
+                              edges=_BATCH_EDGES).observe(len(plan.decodes))
+            metrics.gauge("serve.queue_depth").set(len(scheduler.queued))
+            metrics.gauge("serve.running_sessions").set(
+                len(scheduler.running))
+        if step_s == 0.0 and not emitted:
+            # Every runnable session is waiting out its overlapped
+            # prefill charge; jump the clock to the first readiness.
+            waiting = [r.ready_s for r in scheduler.running
+                       if r.state is RequestState.DECODE
+                       and r.ready_s > self.clock]
+            if waiting:
+                self.clock = min(waiting)
+                return True
+        self.clock += step_s
+        self.peak_batch = max(self.peak_batch, len(plan.decodes))
+        self.tokens_generated += len(emitted)
+        for request in emitted:
+            stamp = max(self.clock, request.ready_s)
+            request.events.token_times_s.append(stamp)
+            if request.events.first_token_s is None:
+                request.events.first_token_s = stamp
+        for request, degraded in degraded_flags:
+            scheduler.note_degraded(request, degraded)
+            if request.pinned_dense and request.state \
+                    is RequestState.DECODE \
+                    and not engine._is_pinned_backend(request):
+                request.backend = engine._dense_pin_of(request.backend)
+        for request in list(plan.decodes):
+            if request.state is RequestState.DECODE \
+                    and len(request.outputs) >= request.max_new_tokens:
+                scheduler.request_finished(request, self.clock)
+        return True
+
+    # -- reduction ------------------------------------------------------------
+
+    def finish(self) -> ServeReport:
+        """Reduce the run's events to a :class:`ServeReport`."""
+        engine = self.engine
+        metrics = engine.obs.metrics
+        # TTFT / TPOT distributions live in the registry; the report reads
+        # its percentiles from these run-scoped exact histograms (or falls
+        # back to the raw events when the registry is a no-op).
+        events = []
+        seen: set = set()
+        for request in self._arrivals:
+            if id(request) in seen or id(request) in self._departed:
+                continue
+            seen.add(id(request))
+            events.append(request.events)
+        ttft_hist = metrics.new_histogram("serve.ttft_s", track_values=True)
+        tpot_hist = metrics.new_histogram("serve.tpot_s", track_values=True)
+        for event in events:
+            if event.ttft_s is not None:
+                ttft_hist.observe(event.ttft_s)
+            if event.tpot_s is not None:
+                tpot_hist.observe(event.tpot_s)
+
+        return ServeReport(
+            system=engine.name,
+            events=events,
+            clock_s=self.clock,
+            tokens_generated=self.tokens_generated,
+            peak_decode_batch=self.peak_batch,
+            preemptions=self.scheduler.preemptions,
+            pool_blocks=engine.pool.n_blocks,
+            pool_high_watermark=engine.pool.high_watermark,
+            ttft_hist=ttft_hist if ttft_hist.count else None,
+            tpot_hist=tpot_hist if tpot_hist.count else None,
+        )

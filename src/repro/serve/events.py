@@ -29,12 +29,14 @@ class RequestEvents:
 
     request_id: int
     arrival_s: float
+    tenant: str = "default"
     admitted_s: Optional[float] = None
     first_token_s: Optional[float] = None
     finished_s: Optional[float] = None
     token_times_s: List[float] = dataclasses.field(default_factory=list)
     degraded_tokens: int = 0
     preemptions: int = 0
+    migrations: int = 0         # cross-worker relocations (fleet runs)
     shed: bool = False          # finished pinned to the dense fallback
     rejected: bool = False      # never admitted (SLO or capacity)
 
@@ -61,6 +63,7 @@ class RequestEvents:
         return {
             "request_id": self.request_id,
             "arrival_s": self.arrival_s,
+            "tenant": self.tenant,
             "admitted_s": self.admitted_s,
             "first_token_s": self.first_token_s,
             "finished_s": self.finished_s,
@@ -69,6 +72,7 @@ class RequestEvents:
             "tpot_s": self.tpot_s,
             "degraded_tokens": self.degraded_tokens,
             "preemptions": self.preemptions,
+            "migrations": self.migrations,
             "shed": self.shed,
             "rejected": self.rejected,
         }
@@ -108,21 +112,58 @@ class ServeReport:
 
     # -- SLO metrics ----------------------------------------------------------
 
-    def _ttfts(self) -> List[float]:
-        return [e.ttft_s for e in self.events if e.ttft_s is not None]
+    def _ttfts(self, tenant: Optional[str] = None) -> List[float]:
+        return [e.ttft_s for e in self.events if e.ttft_s is not None
+                and (tenant is None or e.tenant == tenant)]
 
-    def _tpots(self) -> List[float]:
-        return [e.tpot_s for e in self.events if e.tpot_s is not None]
+    def _tpots(self, tenant: Optional[str] = None) -> List[float]:
+        return [e.tpot_s for e in self.events if e.tpot_s is not None
+                and (tenant is None or e.tenant == tenant)]
 
-    def ttft_percentile_s(self, q: float) -> float:
+    def ttft_percentile_s(self, q: float,
+                          tenant: Optional[str] = None) -> float:
+        """TTFT percentile; a ``tenant`` filter always uses the exact
+        per-event path (the registry histogram pools all tenants)."""
+        if tenant is not None:
+            return exact_percentile(self._ttfts(tenant), q)
         if self.ttft_hist is not None and self.ttft_hist.count:
             return self.ttft_hist.percentile(q)
         return exact_percentile(self._ttfts(), q)
 
-    def tpot_percentile_s(self, q: float) -> float:
+    def tpot_percentile_s(self, q: float,
+                          tenant: Optional[str] = None) -> float:
+        if tenant is not None:
+            return exact_percentile(self._tpots(tenant), q)
         if self.tpot_hist is not None and self.tpot_hist.count:
             return self.tpot_hist.percentile(q)
         return exact_percentile(self._tpots(), q)
+
+    @property
+    def tenants(self) -> List[str]:
+        """Distinct tenants in event order of first appearance."""
+        seen: List[str] = []
+        for e in self.events:
+            if e.tenant not in seen:
+                seen.append(e.tenant)
+        return seen
+
+    def tenant_summary(self) -> Dict[str, Dict]:
+        """Per-tenant SLO metrics (exact percentiles over the events)."""
+        out: Dict[str, Dict] = {}
+        for tenant in self.tenants:
+            mine = [e for e in self.events if e.tenant == tenant]
+            out[tenant] = {
+                "requests": len(mine),
+                "completed": sum(1 for e in mine
+                                 if e.finished_s is not None),
+                "rejected": sum(1 for e in mine if e.rejected),
+                "migrations": sum(e.migrations for e in mine),
+                "ttft_p50_s": self.ttft_percentile_s(50.0, tenant),
+                "ttft_p99_s": self.ttft_percentile_s(99.0, tenant),
+                "tpot_p50_s": self.tpot_percentile_s(50.0, tenant),
+                "tpot_p99_s": self.tpot_percentile_s(99.0, tenant),
+            }
+        return out
 
     @property
     def throughput_tps(self) -> float:
@@ -167,4 +208,5 @@ class ServeReport:
             "availability": self.availability,
             "pool": {"n_blocks": self.pool_blocks,
                      "high_watermark": self.pool_high_watermark},
+            "tenants": self.tenant_summary(),
         }

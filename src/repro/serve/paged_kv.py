@@ -23,20 +23,59 @@ session is a drop-in replacement for a private :class:`KVCache`.  Reads
 gather logical rows out of the arena; when a session's blocks happen to
 be contiguous (the common case right after admission) the gather
 degenerates to a zero-copy slice.
+
+**Prefix caching** (``prefix_caching=True``): *full* prompt blocks are
+content-hashed with a chained blake2b digest (``digest_i =
+H(digest_{i-1} || tokens_of_block_i)``, so a block's key commits to the
+entire prefix before it, not just its own tokens) and registered in a
+pool-level index.  A new session whose prompt starts with an indexed
+prefix *attaches* those blocks instead of re-prefilling them: the shared
+block ids are spliced into its row map and the per-block refcount rises.
+Shared blocks are copy-on-write in the only sense that matters for
+fixed-size pages: they are always **full**, so no append can ever write
+into one — divergence lands in freshly allocated private blocks — and a
+block returns to the LIFO free list only when the *last* referencing
+session frees it.  Sharing K/V across sessions is bit-exact only when
+every session would have produced the same arena bytes, which holds
+when one pool serves one backend family (same weights, same attention
+numerics, same sign-rotation bank); mixed-family pools (e.g. dense
+fallback sessions, fault-injecting backends) must not attach or publish
+— the serving engine enforces this for pinned-dense sessions.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+import dataclasses
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import PoolExhaustedError
 from repro.llm.config import ModelConfig
 from repro.llm.kv_cache import BlockSummary
+from repro.obs import resolve_obs
 
 if TYPE_CHECKING:
     from repro.core.itq import ItqRotations
+    from repro.obs import Obs
+
+
+@dataclasses.dataclass
+class _PrefixEntry:
+    """One shared (refcounted) full block in the pool's prefix index."""
+
+    key: bytes          # chained digest of the prefix ending at this block
+    block: int          # arena block id holding the tokens' K/V/signs
+    refcount: int       # live sessions referencing the block
+    signs_packed: bool  # sign arena rows for this block are valid
+
+
+def _chain_digest(prev: bytes, tokens: np.ndarray) -> bytes:
+    """Chained content hash of one full block of prompt tokens."""
+    h = hashlib.blake2b(prev, digest_size=16)
+    h.update(np.ascontiguousarray(tokens, dtype=np.int64).tobytes())
+    return h.digest()
 
 
 class PagedKVPool:
@@ -46,18 +85,25 @@ class PagedKVPool:
         config: model architecture (layer count, KV heads, head dim, dtype).
         n_blocks: total blocks in the arena.
         block_tokens: token slots per block.
+        prefix_caching: share content-identical full prompt blocks across
+            sessions via refcounts (see module docstring for validity).
+        obs: optional observability bundle; prefix hit/miss counters and
+            the shared-block gauge report through it.
 
     The pool never allocates after construction; :class:`PagedKVCache`
     growth only moves block ids between the free list and sessions.
     """
 
     def __init__(self, config: ModelConfig, n_blocks: int,
-                 block_tokens: int = 16) -> None:
+                 block_tokens: int = 16, prefix_caching: bool = False,
+                 obs: Optional["Obs"] = None) -> None:
         if n_blocks < 1 or block_tokens < 1:
             raise ValueError("need at least one block of at least one token")
         self.config = config
         self.n_blocks = n_blocks
         self.block_tokens = block_tokens
+        self.prefix_caching = prefix_caching
+        self.obs = resolve_obs(obs)
         dtype = np.dtype(config.kv_dtype)
         rows = n_blocks * block_tokens
         shape = (config.n_kv_heads, rows, config.head_dim)
@@ -73,10 +119,15 @@ class PagedKVPool:
             for _ in range(config.n_layers)]
         # LIFO free list: most recently released blocks are reused first.
         self._free: List[int] = list(range(n_blocks - 1, -1, -1))
+        #: chained digest -> shared entry (prefix caching only).
+        self._prefix_index: Dict[bytes, _PrefixEntry] = {}
         # -- telemetry --
         self.total_allocated = 0
         self.total_released = 0
         self.high_watermark = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        self.shared_blocks_peak = 0
 
     # -- accounting -----------------------------------------------------------
 
@@ -103,9 +154,19 @@ class PagedKVPool:
         if n < 0:
             raise ValueError("cannot allocate a negative block count")
         if n > len(self._free):
+            cfg = self.config
             raise PoolExhaustedError(
                 f"paged KV pool exhausted: need {n} blocks, "
-                f"{len(self._free)} of {self.n_blocks} free")
+                f"{len(self._free)} of {self.n_blocks} free "
+                f"({self.n_used} occupied x {cfg.n_layers} layers at "
+                f"{self.block_tokens} tokens/block, "
+                f"{self.shared_blocks} shared prefix blocks, "
+                f"free-list depth {len(self._free)}, "
+                f"high watermark {self.high_watermark})",
+                need=n, free=len(self._free), total=self.n_blocks,
+                block_tokens=self.block_tokens, n_layers=cfg.n_layers,
+                shared_prefix_blocks=self.shared_blocks,
+                high_watermark=self.high_watermark)
         taken = [self._free.pop() for _ in range(n)]
         self.total_allocated += n
         self.high_watermark = max(self.high_watermark, self.n_used)
@@ -124,6 +185,39 @@ class PagedKVPool:
     def new_cache(self) -> "PagedKVCache":
         """A fresh (empty) session cache backed by this pool."""
         return PagedKVCache(self)
+
+    # -- prefix index ---------------------------------------------------------
+
+    @property
+    def shared_blocks(self) -> int:
+        """Distinct blocks currently registered in the prefix index."""
+        return len(self._prefix_index)
+
+    def _note_shared_blocks(self) -> None:
+        n = len(self._prefix_index)
+        if n > self.shared_blocks_peak:
+            self.shared_blocks_peak = n
+        self.obs.metrics.gauge("serve.prefix.shared_blocks").set(n)
+
+    def longest_prefix_tokens(self, tokens: Sequence[int]) -> int:
+        """Cached-prefix length (tokens) the index holds for this prompt.
+
+        A metric-free probe: walks the chained digests over the prompt's
+        full blocks without touching refcounts or hit/miss counters, so a
+        router can score worker locality without perturbing the stats.
+        """
+        if not self.prefix_caching:
+            return 0
+        arr = np.asarray(tokens, dtype=np.int64)
+        bt = self.block_tokens
+        digest = b""
+        hit = 0
+        for start in range(0, (len(arr) // bt) * bt, bt):
+            digest = _chain_digest(digest, arr[start:start + bt])
+            if digest not in self._prefix_index:
+                break
+            hit += bt
+        return hit
 
 
 class PagedLayerKV:
@@ -216,15 +310,23 @@ class PagedLayerKV:
         self.signs_packed_total += len(rows)
 
     def enable_sign_cache(self, rotations: Optional[np.ndarray] = None) -> None:
-        """Start packing (rotated) key signs on append; packs the backlog."""
+        """Start packing (rotated) key signs on append; packs the backlog.
+
+        Backlog packing skips the leading run of attached shared-prefix
+        tokens whose sign rows were already packed by the publishing
+        session (``cache.prefix_signed_tokens``): re-packing them would
+        write the same bytes — one sign-rotation bank per pool — but
+        skipping keeps borrowers from touching shared arena rows at all.
+        """
         if rotations is not None and rotations.shape != (
                 self.n_kv_heads, self.head_dim, self.head_dim):
             raise ValueError("rotation stack shape mismatch")
         self._sign_rot = rotations
         self._sign_enabled = True
-        if self._len:
-            rows = self._cache.rows(self._len)
-            self._pack_rows(self._gather(self._k), rows)
+        start = min(self._cache.prefix_signed_tokens, self._len)
+        if self._len > start:
+            rows = self._cache.rows_range(start, self._len)
+            self._pack_rows(self._k[:, rows], rows)
 
     @property
     def block_summary_enabled(self) -> bool:
@@ -276,6 +378,17 @@ class PagedKVCache:
         self.sign_rotations: Optional["ItqRotations"] = None
         self._sign_cache_enabled = False
         self._freed = False
+        # -- prefix-caching state --
+        #: refcounted entry per shared block this session references
+        #: (borrowed via attach_prefix or published by this session).
+        self._entry_by_block: Dict[int, _PrefixEntry] = {}
+        #: chained digest of the last hashed full block (publish resumes
+        #: the chain here), and how many prompt tokens are hashed so far.
+        self._prefix_digest = b""
+        self._published_tokens = 0
+        #: leading tokens whose shared sign rows are already packed —
+        #: enable_sign_cache starts its backlog pack after this run.
+        self.prefix_signed_tokens = 0
 
     def __len__(self) -> int:
         """Number of cached tokens (identical across layers)."""
@@ -326,6 +439,106 @@ class PagedKVCache:
                 [self._rows, np.arange(block * bt, (block + 1) * bt,
                                        dtype=np.intp)])
 
+    # -- prefix caching -------------------------------------------------------
+
+    def attach_prefix(self, tokens: Sequence[int]) -> int:
+        """Splice in shared blocks for the longest indexed prompt prefix.
+
+        Walks the chained digests over the prompt's full blocks; every
+        hit raises that block's refcount and maps it into this session's
+        row table, so the attached K/V (and packed signs, when the
+        publisher had its sign cache on) are served without re-prefill.
+        Stops at the first miss.  Returns the number of attached tokens —
+        the engine resumes prefill from there.
+
+        Only valid on an empty session cache: attached blocks must form
+        the logical prefix, and they are full by construction so later
+        appends can never write into them.
+        """
+        pool = self.pool
+        if not pool.prefix_caching:
+            return 0
+        if self._freed:
+            raise RuntimeError("PagedKVCache was freed")
+        if self._blocks or len(self):
+            raise RuntimeError(
+                "attach_prefix requires an empty session cache")
+        arr = np.asarray(tokens, dtype=np.int64)
+        bt = pool.block_tokens
+        n_full = len(arr) // bt
+        digest = b""
+        entries: List[_PrefixEntry] = []
+        for start in range(0, n_full * bt, bt):
+            digest = _chain_digest(digest, arr[start:start + bt])
+            entry = pool._prefix_index.get(digest)
+            if entry is None:
+                break
+            entries.append(entry)
+        hits = len(entries)
+        if hits:
+            pool.prefix_hits += hits
+            pool.obs.metrics.counter("serve.prefix.hit").inc(hits)
+        if hits < n_full:
+            pool.prefix_misses += 1
+            pool.obs.metrics.counter("serve.prefix.miss").inc()
+        if not hits:
+            return 0
+        signed_run = 0
+        for entry in entries:
+            entry.refcount += 1
+            self._entry_by_block[entry.block] = entry
+            if self._blocks and entry.block != self._blocks[-1] + 1:
+                self.contiguous = False
+            self._blocks.append(entry.block)
+            if signed_run == len(self._blocks) - 1 and entry.signs_packed:
+                signed_run += 1
+        self._rows = np.concatenate(
+            [np.arange(b * bt, (b + 1) * bt, dtype=np.intp)
+             for b in self._blocks])
+        attached = hits * bt
+        for layer in self.layers:
+            layer._len = attached
+        self._prefix_digest = entries[-1].key
+        self._published_tokens = attached
+        self.prefix_signed_tokens = signed_run * bt
+        pool._note_shared_blocks()
+        return attached
+
+    def publish_prefix(self, tokens: Sequence[int]) -> int:
+        """Register this session's full prompt blocks in the prefix index.
+
+        ``tokens`` is the prompt prefix written so far (the engine calls
+        this after each prefill chunk); blocks already hashed — attached
+        or previously published — are skipped via the resumed digest
+        chain.  A digest another session already registered is *not*
+        re-registered: this session's copy of the block stays private
+        (slight arena waste, no remapping churn).  Returns the number of
+        newly registered blocks.
+        """
+        pool = self.pool
+        if not pool.prefix_caching or self._freed:
+            return 0
+        arr = np.asarray(tokens, dtype=np.int64)
+        bt = pool.block_tokens
+        full = min((len(arr) // bt) * bt, len(self))
+        registered = 0
+        while self._published_tokens + bt <= full:
+            start = self._published_tokens
+            digest = _chain_digest(self._prefix_digest,
+                                   arr[start:start + bt])
+            block = self._blocks[start // bt]
+            if digest not in pool._prefix_index:
+                entry = _PrefixEntry(digest, block, 1,
+                                     self._sign_cache_enabled)
+                pool._prefix_index[digest] = entry
+                self._entry_by_block[block] = entry
+                registered += 1
+            self._prefix_digest = digest
+            self._published_tokens = start + bt
+        if registered:
+            pool._note_shared_blocks()
+        return registered
+
     # -- KVCache interface ----------------------------------------------------
 
     def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
@@ -349,6 +562,12 @@ class PagedKVCache:
                 rotations.matrices[i] if rotations is not None else None)
         self.sign_rotations = rotations
         self._sign_cache_enabled = True
+        # The backlog pack above covered every row below len(self), so any
+        # shared block this session references now holds valid signs —
+        # future borrowers may skip them (one rotation bank per pool, so
+        # the bytes are the same whoever packs them).
+        for entry in self._entry_by_block.values():
+            entry.signs_packed = True
 
     @property
     def block_summary_enabled(self) -> bool:
@@ -360,12 +579,34 @@ class PagedKVCache:
             layer.enable_block_summary(block, stride)
 
     def free(self) -> None:
-        """Return every block to the pool (idempotent)."""
+        """Return every block to the pool (idempotent).
+
+        Shared blocks are dereferenced instead: a block goes back to the
+        LIFO free list only when this was the last referencing session,
+        at which point its index entry is retired too (no resident-but-
+        unreferenced caching).
+        """
         if self._freed:
             return
         for layer in self.layers:
             layer.free()
-        self.pool.release(self._blocks)
+        pool = self.pool
+        if self._entry_by_block:
+            to_release: List[int] = []
+            for block in self._blocks:
+                entry = self._entry_by_block.get(block)
+                if entry is None:
+                    to_release.append(block)
+                    continue
+                entry.refcount -= 1
+                if entry.refcount == 0:
+                    del pool._prefix_index[entry.key]
+                    to_release.append(block)
+            pool.release(to_release)
+            self._entry_by_block = {}
+            pool._note_shared_blocks()
+        else:
+            pool.release(self._blocks)
         self._blocks = []
         self._rows = np.empty(0, dtype=np.intp)
         self._freed = True

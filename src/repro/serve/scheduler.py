@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +38,31 @@ class RequestState(enum.Enum):
     DECODE = "decode"
     DONE = "done"
     SHED = "shed"
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantClass:
+    """Per-tenant SLO class: admission weight and optional overrides.
+
+    Attributes:
+        name: tenant identifier requests carry in ``ServeRequest.tenant``.
+        weight: weighted-round-robin admission share — each admission
+            advances the tenant's virtual time by ``1/weight``, so a
+            weight-4 tenant is offered four admissions for every one of a
+            weight-1 tenant when both are backlogged.
+        queue_timeout_s: per-tenant queueing-delay shed override; ``None``
+            inherits the policy-wide ``queue_timeout_s``.
+    """
+
+    name: str
+    weight: int = 1
+    queue_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant class needs a name")
+        if self.weight < 1:
+            raise ValueError("tenant weight must be >= 1")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +89,11 @@ class SloPolicy:
             sliding-window fallback for the rest of its life (shed from
             the sparse path, never from service) — it keeps decoding and
             completing, mirroring the simulator's shed-in-place semantics.
+        tenant_classes: declared per-tenant SLO classes (weight, timeout
+            override).  Tenants without a declared class get weight 1 and
+            the policy-wide timeout; an empty tuple (the default) makes
+            every request one implicit tenant, which degenerates to the
+            original FIFO admission order exactly.
     """
 
     max_decode_batch: int = 16
@@ -72,6 +102,23 @@ class SloPolicy:
     queue_timeout_s: Optional[float] = None
     admission_headroom_blocks: int = 0
     shed_after_consecutive_degraded: int = 4
+    tenant_classes: Tuple[TenantClass, ...] = ()
+
+    def tenant_class(self, name: str) -> Optional[TenantClass]:
+        for cls in self.tenant_classes:
+            if cls.name == name:
+                return cls
+        return None
+
+    def tenant_weight(self, name: str) -> int:
+        cls = self.tenant_class(name)
+        return cls.weight if cls is not None else 1
+
+    def tenant_timeout_s(self, name: str) -> Optional[float]:
+        cls = self.tenant_class(name)
+        if cls is not None and cls.queue_timeout_s is not None:
+            return cls.queue_timeout_s
+        return self.queue_timeout_s
 
     def __post_init__(self) -> None:
         if self.max_decode_batch < 1:
@@ -84,6 +131,9 @@ class SloPolicy:
             raise ValueError("admission_headroom_blocks must be >= 0")
         if self.shed_after_consecutive_degraded < 1:
             raise ValueError("shed_after_consecutive_degraded must be >= 1")
+        names = [cls.name for cls in self.tenant_classes]
+        if len(names) != len(set(names)):
+            raise ValueError("tenant class names must be unique")
 
 
 @dataclasses.dataclass
@@ -94,6 +144,13 @@ class ServeRequest:
     prompt: np.ndarray
     max_new_tokens: int
     arrival_s: float = 0.0
+    #: SLO class the request is admitted under (weighted round-robin).
+    tenant: str = "default"
+    #: session-affinity key for fleet routing; ``None`` routes by load
+    #: and prefix locality alone.
+    session: Optional[str] = None
+    #: cross-worker relocations performed so far (router-owned).
+    migrations: int = 0
     state: RequestState = RequestState.QUEUED
     #: sampled output tokens (the last one may not be in the cache yet).
     outputs: List[int] = dataclasses.field(default_factory=list)
@@ -125,7 +182,8 @@ class ServeRequest:
             raise ValueError("max_new_tokens must be >= 1")
         if self.events is None:
             self.events = RequestEvents(request_id=self.request_id,
-                                        arrival_s=self.arrival_s)
+                                        arrival_s=self.arrival_s,
+                                        tenant=self.tenant)
 
     @property
     def context(self) -> int:
@@ -171,18 +229,37 @@ class StepPlan:
 
 
 class ContinuousBatchScheduler:
-    """Admission, batch assembly, and preemption over one paged pool."""
+    """Admission, batch assembly, and preemption over one paged pool.
+
+    Admission runs **weighted round-robin over per-tenant FIFO queues**
+    (stride scheduling): each tenant carries a virtual time that advances
+    by ``1/weight`` per admission, and the backlogged tenant with the
+    smallest virtual time is offered the next admission slot.  With one
+    tenant (or no declared classes) this is exactly the original FIFO-by-
+    arrival order; with several, one tenant's burst cannot starve
+    another's admissions — the burster's virtual time races ahead and the
+    steady tenant is served at its weighted share.
+    """
 
     def __init__(self, pool: PagedKVPool,
                  policy: Optional[SloPolicy] = None,
-                 obs: Optional[Obs] = None) -> None:
+                 obs: Optional[Obs] = None,
+                 victim_sink: Optional[
+                     Callable[[ServeRequest], bool]] = None) -> None:
         self.pool = pool
         self.policy = policy or SloPolicy()
         self.obs = resolve_obs(obs)
-        self.queued: List[ServeRequest] = []
+        #: per-tenant FIFO queues (arrival order, id tie-break).
+        self._queues: Dict[str, List[ServeRequest]] = {}
+        #: stride-scheduling virtual time per tenant.
+        self._vtime: Dict[str, float] = {}
         self.running: List[ServeRequest] = []   # PREFILL or DECODE
         self.finished: List[ServeRequest] = []
         self.preemptions = 0
+        #: optional relocation hook: offered every preemption victim;
+        #: returning ``True`` claims the request (a fleet router moving
+        #: it to another worker) so it is *not* re-queued locally.
+        self.victim_sink = victim_sink
 
     def _count(self, name: str, amount=1) -> None:
         metrics = self.obs.metrics
@@ -191,14 +268,31 @@ class ContinuousBatchScheduler:
 
     # -- submission -----------------------------------------------------------
 
+    @property
+    def queued(self) -> List[ServeRequest]:
+        """All queued requests in arrival order (id tie-break)."""
+        merged = [r for q in self._queues.values() for r in q]
+        merged.sort(key=lambda r: (r.arrival_s, r.request_id))
+        return merged
+
     def submit(self, request: ServeRequest) -> None:
-        """Enqueue an arrived request (FIFO by arrival, id tie-break)."""
-        self.queued.append(request)
-        self.queued.sort(key=lambda r: (r.arrival_s, r.request_id))
+        """Enqueue an arrived request (FIFO by arrival within tenant)."""
+        queue = self._queues.setdefault(request.tenant, [])
+        if not queue:
+            # (Re)activating tenant: clamp its virtual time up to the
+            # slowest active tenant so accumulated idle credit cannot buy
+            # a monopolizing burst (standard stride-scheduler join rule).
+            active = [self._vtime[t] for t, q in self._queues.items()
+                      if q and t != request.tenant]
+            floor = min(active) if active else 0.0
+            self._vtime[request.tenant] = max(
+                self._vtime.get(request.tenant, 0.0), floor)
+        queue.append(request)
+        queue.sort(key=lambda r: (r.arrival_s, r.request_id))
 
     @property
     def all_done(self) -> bool:
-        return not self.queued and not self.running
+        return not any(self._queues.values()) and not self.running
 
     # -- admission ------------------------------------------------------------
 
@@ -237,19 +331,33 @@ class ContinuousBatchScheduler:
         steal capacity from requests that can still meet theirs.  A
         request that cannot fit even into an empty pool is shed
         immediately (it could otherwise clog the queue head forever).
+
+        With several backlogged tenants the admission slots rotate by
+        stride scheduling (see class docstring); a tenant whose head does
+        not fit is *skipped* for this call rather than blocking the other
+        tenants' heads behind it.
         """
         policy = self.policy
         admitted = []
         reserved = self._reserved_blocks()
-        while self.queued:
-            head = self.queued[0]
-            if policy.queue_timeout_s is not None \
-                    and now - head.arrival_s > policy.queue_timeout_s:
-                self.queued.pop(0)
+        blocked: set = set()
+        while True:
+            active = [t for t, q in self._queues.items()
+                      if q and t not in blocked]
+            if not active:
+                break
+            tenant = min(active, key=lambda t: (
+                self._vtime[t], self._queues[t][0].arrival_s,
+                self._queues[t][0].request_id))
+            queue = self._queues[tenant]
+            head = queue[0]
+            timeout = policy.tenant_timeout_s(tenant)
+            if timeout is not None and now - head.arrival_s > timeout:
+                queue.pop(0)
                 self._reject(head, "queue_timeout")
                 continue
             if self._session_blocks(head) > self.pool.n_blocks:
-                self.queued.pop(0)
+                queue.pop(0)
                 self._reject(head, "impossible_fit")
                 continue
             need = self._prompt_blocks(head)
@@ -257,15 +365,18 @@ class ContinuousBatchScheduler:
             # system admits whenever the request fits at all (no livelock).
             headroom = policy.admission_headroom_blocks if self.running else 0
             if need + reserved + headroom > self.pool.n_free:
-                break
+                blocked.add(tenant)
+                continue
             reserved += need
-            self.queued.pop(0)
+            queue.pop(0)
+            self._vtime[tenant] += 1.0 / policy.tenant_weight(tenant)
             head.state = RequestState.PREFILL
             head.prefilled = 0
             if head.events.admitted_s is None:
                 head.events.admitted_s = now
             self.running.append(head)
             admitted.append(head)
+            self._count(f"serve.tenant.{tenant}.admitted")
         return admitted
 
     def _reject(self, request: ServeRequest, cause: str) -> None:
@@ -289,11 +400,44 @@ class ContinuousBatchScheduler:
         """
         decodes = [r for r in self.running
                    if r.state is RequestState.DECODE]
-        decodes = decodes[: self.policy.max_decode_batch]
+        if len(decodes) > self.policy.max_decode_batch:
+            decodes = self._fair_truncate(decodes,
+                                          self.policy.max_decode_batch)
         prefills = [r for r in self.running
                     if r.state is RequestState.PREFILL]
         prefills = prefills[: self.policy.max_prefills_per_step]
         return StepPlan(prefills=prefills, decodes=decodes)
+
+    def _fair_truncate(self, decodes: List[ServeRequest],
+                       cap: int) -> List[ServeRequest]:
+        """Tenant-fair decode truncation when the batch cap binds.
+
+        Round-robin over tenants (in admission order), each round taking
+        up to ``weight`` sessions per tenant, so an over-cap step still
+        decodes every tenant at its weighted share instead of whichever
+        tenant happened to admit first.  Single-tenant batches keep the
+        original oldest-admitted-first order exactly.
+        """
+        by_tenant: Dict[str, List[ServeRequest]] = {}
+        for request in decodes:
+            by_tenant.setdefault(request.tenant, []).append(request)
+        if len(by_tenant) == 1:
+            return decodes[:cap]
+        picked: List[ServeRequest] = []
+        while len(picked) < cap:
+            progressed = False
+            for tenant, queue in by_tenant.items():
+                take = min(self.policy.tenant_weight(tenant), len(queue),
+                           cap - len(picked))
+                if take > 0:
+                    picked.extend(queue[:take])
+                    del queue[:take]
+                    progressed = True
+                if len(picked) >= cap:
+                    break
+            if not progressed:
+                break
+        return picked
 
     # -- transitions (driven by the engine) -----------------------------------
 
@@ -344,6 +488,11 @@ class ContinuousBatchScheduler:
         head-of-line for its original arrival order.  Returns the victim,
         or ``None`` when ``needy`` is the only running session (the caller
         must then shed or wait).
+
+        When a ``victim_sink`` is installed it is offered the victim
+        first; a sink that returns ``True`` has relocated the request (a
+        fleet router migrating the session to another worker), so it is
+        not re-queued here.
         """
         candidates = [r for r in self.running if r is not needy]
         if not candidates:
@@ -361,5 +510,7 @@ class ContinuousBatchScheduler:
         victim.events.preemptions += 1
         self.preemptions += 1
         self._count("serve.preemptions")
+        if self.victim_sink is not None and self.victim_sink(victim):
+            return victim
         self.submit(victim)
         return victim

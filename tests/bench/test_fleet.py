@@ -1,0 +1,86 @@
+"""Smoke test for the fleet benchmark (`python -m repro.bench.fleet`).
+
+Runs the real worker-count sweep at a tiny configuration and validates
+the ``BENCH_fleet.json`` schema: axis starts at the single-engine
+baseline, multi-worker points beat it on throughput, the shared-prefix
+workload produces cache hits, and the fairness ratio stays bounded.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.fleet import (RESULT_NAME, SCHEMA_VERSION, fleet_workload,
+                               run_fleet, validate_payload)
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("fleet")
+    run_fleet(workers_axis=(1, 2), n_steady=6, n_burst=6, seed=0,
+              out_dir=out)
+    return json.loads((out / RESULT_NAME).read_text())
+
+
+def test_writes_valid_payload(payload):
+    assert validate_payload(payload) == []
+    assert payload["benchmark"] == "fleet"
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["workers_axis"] == [1, 2]
+
+
+def test_fleet_beats_single_engine(payload):
+    base, fleet = payload["sweep"]
+    assert base["workers"] == 1 and fleet["workers"] == 2
+    assert fleet["throughput_tps"] > base["throughput_tps"]
+
+
+def test_shared_prefix_workload_hits_cache(payload):
+    for point in payload["sweep"]:
+        assert point["prefix"]["hits"] > 0
+        assert 0 < point["prefix"]["hit_rate"] <= 1
+
+
+def test_tenant_slos_reported_and_bounded(payload):
+    for point in payload["sweep"]:
+        for tenant in ("steady", "burst"):
+            summary = point["tenants"][tenant]
+            assert summary["requests"] > 0
+            assert summary["ttft_p99_s"] >= summary["ttft_p50_s"]
+    fairness = payload["fairness"]
+    assert fairness["degradation_ratio"] <= fairness["limit"]
+
+
+def test_validator_rejects_regressions(payload):
+    broken = json.loads(json.dumps(payload))
+    broken["sweep"][1]["throughput_tps"] = \
+        broken["sweep"][0]["throughput_tps"] * 0.5
+    assert any("does not beat" in p for p in validate_payload(broken))
+
+    broken = json.loads(json.dumps(payload))
+    broken["sweep"][0]["prefix"]["hits"] = 0
+    assert any("zero prefix-cache hits" in p
+               for p in validate_payload(broken))
+
+    broken = json.loads(json.dumps(payload))
+    broken["fairness"]["degradation_ratio"] = \
+        broken["fairness"]["limit"] + 1
+    assert any("weighted admission failed" in p
+               for p in validate_payload(broken))
+
+
+def test_axis_must_start_at_baseline(tmp_path):
+    with pytest.raises(ValueError):
+        run_fleet(workers_axis=(2, 4), out_dir=tmp_path)
+    with pytest.raises(ValueError):
+        run_fleet(workers_axis=(1,), out_dir=tmp_path)
+
+
+def test_fairness_ab_traces_share_steady_stream():
+    with_burst = fleet_workload(4, 4, 64, seed=3)
+    without = fleet_workload(4, 4, 64, seed=3, include_burst=False)
+    steady_a = [r for r in with_burst if r.tenant == "steady"]
+    assert len(without) == len(steady_a) == 4
+    for a, b in zip(steady_a, without):
+        assert a.arrival_s == b.arrival_s
+        assert (a.prompt == b.prompt).all()

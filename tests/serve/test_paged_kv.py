@@ -198,3 +198,45 @@ class TestSessionLifecycle:
             assert pool.n_free == 6
         assert pool.high_watermark == 6
         assert pool.total_allocated == pool.total_released == 60
+
+
+class TestExhaustionDiagnostics:
+    def test_message_reports_occupancy_and_free_list_depth(self):
+        pool = PagedKVPool(TINY, n_blocks=8, block_tokens=4)
+        pool.allocate(6)
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            pool.allocate(5)
+        message = str(excinfo.value)
+        assert "need 5 blocks" in message
+        assert "2 of 8 free" in message
+        assert f"6 occupied x {TINY.n_layers} layers" in message
+        assert "4 tokens/block" in message
+        assert "0 shared prefix blocks" in message
+        assert "free-list depth 2" in message
+        assert "high watermark 6" in message
+
+    def test_structured_fields_match_pool_state(self):
+        pool = PagedKVPool(TINY, n_blocks=8, block_tokens=4,
+                           prefix_caching=True)
+        cache = pool.new_cache()
+        k = np.zeros((TINY.n_kv_heads, 8, TINY.head_dim), dtype=np.float32)
+        for layer in range(TINY.n_layers):
+            cache.append(layer, k, k.copy())
+        cache.publish_prefix(np.arange(8))
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            pool.allocate(7)
+        err = excinfo.value
+        assert err.need == 7
+        assert err.free == 6
+        assert err.total == 8
+        assert err.used == 2
+        assert err.block_tokens == 4
+        assert err.n_layers == TINY.n_layers
+        assert err.shared_prefix_blocks == 2
+        assert err.high_watermark == 2
+        assert "2 shared prefix blocks" in str(err)
+
+    def test_message_only_construction_still_works(self):
+        err = PoolExhaustedError("out of blocks")
+        assert str(err) == "out of blocks"
+        assert err.need == 0 and err.used == 0
