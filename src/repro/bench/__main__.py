@@ -4,7 +4,7 @@ Usage:
     python -m repro.bench list
     python -m repro.bench table1 table2 fig7 fig8 fig9 power
     python -m repro.bench fig3a fig3b fig3c fig4 fig10 dynax
-    python -m repro.bench micro chaos serve fleet obs_overhead
+    python -m repro.bench micro chaos serve fleet obs_overhead recovery
     python -m repro.bench all            # everything (trains models once)
 
 Tables print to stdout and are saved under results/.
@@ -24,6 +24,7 @@ def _runners() -> Dict[str, Callable[[], Table]]:
     from repro.bench.micro import run_micro
     from repro.bench.fleet import run_fleet
     from repro.bench.obs_overhead import run_obs_overhead
+    from repro.bench.recovery import run_recovery
     from repro.bench.serve import run_serve
     from repro.bench.fig3 import run_fig3
     from repro.bench.fig4 import run_fig4
@@ -51,6 +52,7 @@ def _runners() -> Dict[str, Callable[[], Table]]:
         "serve": run_serve,
         "fleet": run_fleet,
         "obs_overhead": run_obs_overhead,
+        "recovery": run_recovery,
     }
 
 

@@ -52,6 +52,8 @@ REGISTRY: Dict[str, BenchSpec] = {
         BenchSpec("repro.bench.fleet", "BENCH_fleet.json", "fleet"),
         BenchSpec("repro.bench.obs_overhead", "BENCH_obs.json",
                   "obs_overhead"),
+        BenchSpec("repro.bench.recovery", "BENCH_recovery.json",
+                  "recovery"),
     )
 }
 

@@ -71,3 +71,41 @@ class UnknownUserError(ReproError, KeyError):
 
     def __str__(self) -> str:  # KeyError would repr() the message
         return RuntimeError.__str__(self)
+
+
+class DurabilityError(ReproError):
+    """Base class for snapshot / write-ahead-log / recovery failures."""
+
+
+class SnapshotCorruptError(DurabilityError):
+    """A snapshot file failed integrity verification (bad magic, torn
+    section framing, or chain-hash footer mismatch).  Recovery skips the
+    file and falls back to the previous valid snapshot."""
+
+
+class WalCorruptError(DurabilityError):
+    """A write-ahead log record failed CRC or framing checks *before* the
+    final record — mid-file corruption, not an ordinary torn tail."""
+
+
+class StaleWalError(DurabilityError):
+    """The write-ahead log belongs to a different epoch than the snapshot
+    being restored; its suffix cannot be trusted for replay."""
+
+
+class ReplayDivergenceError(DurabilityError):
+    """Deterministic re-execution of the WAL suffix produced a different
+    token (or clock) than the logged record — the restored state is not
+    bit-identical to the pre-crash run."""
+
+
+class WorkerKilledError(DurabilityError):
+    """An injected crash point killed the worker mid-run (see
+    :class:`repro.system.faults.CrashPlan`).  The fleet router catches
+    this and restores the worker from its durable directory."""
+
+    def __init__(self, message: str, *, step: int = 0,
+                 kind: str = "") -> None:
+        super().__init__(message)
+        self.step = step
+        self.kind = kind

@@ -29,13 +29,17 @@ request over its cap is re-queued (or shed) locally by the source.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.durable import DurableRun, RecoveryStats, recover
+from repro.errors import WorkerKilledError
 from repro.llm.model import Transformer
 from repro.obs import MetricsRegistry, Obs, Tracer, resolve_obs
 from repro.serve.engine import ServeEngine, TimingModel
 from repro.serve.paged_kv import PagedKVPool
 from repro.serve.scheduler import ServeRequest, SloPolicy
+from repro.system.faults import CrashPlan
 
 from repro.fleet.report import FleetReport
 
@@ -43,10 +47,18 @@ from repro.fleet.report import FleetReport
 class FleetWorker:
     """One serving shard: an engine plus its identity in the fleet."""
 
-    def __init__(self, worker_id: int, engine: ServeEngine) -> None:
+    def __init__(self, worker_id: int, engine: ServeEngine,
+                 engine_factory: Optional[
+                     Callable[[], ServeEngine]] = None,
+                 durable_dir: Optional[pathlib.Path] = None) -> None:
         self.worker_id = worker_id
         self.engine = engine
-        self.run = None  # EngineRun, owned by the router during a run
+        self.run = None  # EngineRun/DurableRun, router-owned during a run
+        #: rebuilds a fresh engine after a crash (restore loads into it).
+        self.engine_factory = engine_factory
+        #: where this worker's snapshots + WAL live; None = not durable.
+        self.durable_dir = None if durable_dir is None \
+            else pathlib.Path(durable_dir)
 
     @property
     def pool(self) -> PagedKVPool:
@@ -63,23 +75,35 @@ def make_worker(worker_id: int, model: Transformer, backend_factory,
                 timing_factory: Optional[
                     Callable[[Obs], TimingModel]] = None,
                 prefill_block_size: int = 256,
-                max_steps: int = 1_000_000) -> FleetWorker:
+                max_steps: int = 1_000_000,
+                durable_root: Optional[pathlib.Path] = None) -> FleetWorker:
     """Build a worker with its own prefix-cached pool and metrics registry.
 
     Every worker gets a private enabled :class:`MetricsRegistry` (tracing
     off) so per-worker counters merge associatively into the fleet report;
     ``timing_factory`` receives that bundle so analytic timing attribution
     lands in the owning worker's registry.
+
+    With ``durable_root`` set, the worker serves durably out of
+    ``durable_root/worker<id>`` (snapshots + WAL) and carries an engine
+    factory so the router can rebuild it from disk after a crash — the
+    factory builds a *fresh* pool and registry each call, exactly like a
+    restarted process.
     """
-    obs = Obs(MetricsRegistry(enabled=True), Tracer(enabled=False))
-    pool = PagedKVPool(model.config, n_blocks, block_tokens,
-                       prefix_caching=True, obs=obs)
-    timing = timing_factory(obs) if timing_factory is not None else None
-    engine = ServeEngine(model, pool, backend_factory, policy=policy,
-                         timing=timing, name=f"worker{worker_id}",
-                         prefill_block_size=prefill_block_size,
-                         max_steps=max_steps, obs=obs)
-    return FleetWorker(worker_id, engine)
+    def build() -> ServeEngine:
+        obs = Obs(MetricsRegistry(enabled=True), Tracer(enabled=False))
+        pool = PagedKVPool(model.config, n_blocks, block_tokens,
+                           prefix_caching=True, obs=obs)
+        timing = timing_factory(obs) if timing_factory is not None else None
+        return ServeEngine(model, pool, backend_factory, policy=policy,
+                           timing=timing, name=f"worker{worker_id}",
+                           prefill_block_size=prefill_block_size,
+                           max_steps=max_steps, obs=obs)
+
+    durable_dir = None if durable_root is None \
+        else pathlib.Path(durable_root) / f"worker{worker_id}"
+    return FleetWorker(worker_id, build(), engine_factory=build,
+                       durable_dir=durable_dir)
 
 
 class FleetRouter:
@@ -100,7 +124,9 @@ class FleetRouter:
     def __init__(self, workers: Sequence[FleetWorker],
                  max_migrations: int = 3,
                  obs: Optional[Obs] = None,
-                 max_steps: int = 4_000_000) -> None:
+                 max_steps: int = 4_000_000,
+                 snapshot_every: int = 8,
+                 crash_plans: Optional[Dict[int, CrashPlan]] = None) -> None:
         if not workers:
             raise ValueError("a fleet needs at least one worker")
         ids = [w.worker_id for w in workers]
@@ -113,16 +139,26 @@ class FleetRouter:
         self.max_migrations = max_migrations
         self.obs = resolve_obs(obs)
         self.max_steps = max_steps
+        self.snapshot_every = snapshot_every
+        self.crash_plans = dict(crash_plans or {})
         self._affinity: Dict[str, FleetWorker] = {}
         self.migrations = 0
+        self.worker_restores = 0
+        self.recoveries: List[RecoveryStats] = []
 
     # -- the fleet loop -------------------------------------------------------
 
     def run(self, requests: Sequence[ServeRequest]) -> FleetReport:
         """Serve ``requests`` across the fleet; returns the fleet report."""
         for worker in self.workers:
-            worker.run = worker.engine.start([])
-            worker.engine.migrate_handler = self._handler_for(worker)
+            if worker.durable_dir is not None:
+                worker.run = DurableRun(
+                    worker.engine, [], worker.durable_dir,
+                    snapshot_every=self.snapshot_every,
+                    crash=self.crash_plans.get(worker.worker_id))
+            else:
+                worker.run = worker.engine.start([])
+            self._install_handler(worker)
         pending = sorted(requests,
                          key=lambda r: (r.arrival_s, r.request_id))
         next_dispatch = 0
@@ -146,7 +182,10 @@ class FleetRouter:
                     continue
                 laggard = min(busy,
                               key=lambda w: (w.run.clock, w.worker_id))
-                laggard.run.step()
+                try:
+                    laggard.run.step()
+                except WorkerKilledError:
+                    self._recover_worker(laggard)
             else:
                 raise RuntimeError(
                     f"fleet did not converge within {self.max_steps} steps")
@@ -199,6 +238,37 @@ class FleetRouter:
         promised = sum(pool.blocks_for_tokens(len(r.resume_tokens))
                        for r in queued)
         return pool.n_free - promised
+
+    # -- crash recovery -------------------------------------------------------
+
+    def _install_handler(self, worker: FleetWorker) -> None:
+        """Install the migrate hook, durable-wrapped when applicable so
+        departures already delivered pre-crash are not re-migrated."""
+        handler = self._handler_for(worker)
+        wrap = getattr(worker.run, "wrap_migrate_handler", None)
+        worker.engine.migrate_handler = handler if wrap is None \
+            else wrap(handler)
+
+    def _recover_worker(self, worker: FleetWorker) -> None:
+        """Restore a killed durable worker in place: fresh engine, state
+        loaded from its durable directory, sessions kept — the fleet
+        alternative to migrating everything off a dead shard.  The
+        affinity map stays valid because the :class:`FleetWorker` object
+        (and its sessions' home) does not change."""
+        if worker.engine_factory is None or worker.durable_dir is None:
+            raise  # not durable: the kill is fatal; re-raise it
+        worker.engine.migrate_handler = None
+        worker.engine = worker.engine_factory()
+        worker.run, stats = recover(worker.durable_dir, worker.engine,
+                                    snapshot_every=self.snapshot_every)
+        self._install_handler(worker)
+        self.worker_restores += 1
+        self.recoveries.append(stats)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("fleet.worker_restores").inc()
+            metrics.counter(
+                f"fleet.worker{worker.worker_id}.restores").inc()
 
     # -- migration ------------------------------------------------------------
 

@@ -48,6 +48,49 @@ from repro.errors import CapacityError, OffloadTimeoutError, QueueFullError
 FAULT_KINDS = ("queue_full", "response_buffer", "cxl_timeout", "cxl_degraded",
                "nma_stall", "kso_corruption", "capacity_pressure")
 
+#: Crash kinds a :class:`CrashPlan` can inject into a durable run
+#: (consumed by :class:`repro.durable.DurableRun` at step boundaries).
+CRASH_KINDS = ("kill_after_fsync", "kill_before_fsync", "torn_snapshot",
+               "stale_wal")
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashPlan:
+    """Deterministic worker-kill schedule for durable serving.
+
+    Unlike the Bernoulli :class:`FaultPlan`, crashes are scheduled at an
+    exact engine-step boundary so tests can kill at *every* event boundary
+    and assert bit-identical recovery.  The kind decides what the
+    simulated death leaves on disk:
+
+    - ``kill_after_fsync``: the WAL is fully synced before the kill — the
+      clean case, recovery replays everything.
+    - ``kill_before_fsync``: the fsync-batched WAL tail is lost with the
+      process; deterministic re-execution regenerates those records.
+    - ``torn_snapshot``: the process dies mid-snapshot-write, leaving a
+      truncated file whose chain-hash footer cannot verify; recovery must
+      fall back to the previous valid snapshot.
+    - ``stale_wal``: the on-disk WAL belongs to a different epoch than the
+      snapshots (operator error / mixed durable dirs); recovery must
+      reject its suffix instead of replaying garbage.
+    """
+
+    #: raise :class:`~repro.errors.WorkerKilledError` after executing this
+    #: (1-based) durable step.
+    kill_at_step: int = 1
+    kind: str = "kill_after_fsync"
+    #: fraction of the torn snapshot's bytes that survive on disk.
+    torn_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kill_at_step < 1:
+            raise ValueError("kill_at_step must be >= 1")
+        if self.kind not in CRASH_KINDS:
+            raise ValueError(f"unknown crash kind: {self.kind!r} "
+                             f"(one of {CRASH_KINDS})")
+        if not 0.0 < self.torn_fraction < 1.0:
+            raise ValueError("torn_fraction must be in (0, 1)")
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultPlan:

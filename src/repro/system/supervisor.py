@@ -237,3 +237,52 @@ class SupervisedOffloadBackend(DrexOffloadBackend):
 
     def _flush_gate(self, layer: int, n_new: int) -> bool:
         return self.supervisor.flush_allowed()
+
+    # -- durable serving hooks ---------------------------------------------------
+
+    def durable_state(self) -> dict:
+        """JSON-safe state a snapshot needs to resume this backend
+        bit-identically (see :mod:`repro.durable`).
+
+        Captures both seeded RNG streams (fault injector + supervisor
+        jitter), their accumulated telemetry, and the degradation record.
+        The device-side KV/sign stores are *not* captured: the restored
+        backend's ``_flushed`` watermarks reset to ``n_sink``, and the
+        next forward's catch-up flush rebuilds identical device content
+        because the flush watermark is a pure function of the cache
+        length.  Exactness preconditions: ``capacity_pressure_rate == 0``
+        (deferred flushes would desync the watermark) and no unrepaired
+        KSO corruption outstanding at the crash.
+        """
+        from repro.drex.timing import LatencyBreakdown
+        injector = self.injector
+        supervisor = self.supervisor
+        return {
+            "injector_rng": injector.rng.bit_generator.state,
+            "injector_counts": dict(injector.counts),
+            "supervisor_rng": supervisor.rng.bit_generator.state,
+            "supervisor_stats": supervisor.stats.as_dict(),
+            "total_latency": dataclasses.asdict(self.total_latency),
+            "n_offloads": self.n_offloads,
+            "sparse_token_attempts": self.sparse_token_attempts,
+            "degraded_tokens": self.degraded_tokens,
+            "degraded_log": [[int(layer), int(pos)]
+                             for layer, pos in self.degraded_log],
+        }
+
+    def restore_durable_state(self, state: dict) -> None:
+        """Inverse of :meth:`durable_state` on a freshly built backend."""
+        from repro.drex.timing import LatencyBreakdown
+        injector = self.injector
+        supervisor = self.supervisor
+        injector.rng.bit_generator.state = state["injector_rng"]
+        injector.counts = {k: int(v)
+                           for k, v in state["injector_counts"].items()}
+        supervisor.rng.bit_generator.state = state["supervisor_rng"]
+        supervisor.stats = SupervisorStats(**state["supervisor_stats"])
+        self.total_latency = LatencyBreakdown(**state["total_latency"])
+        self.n_offloads = int(state["n_offloads"])
+        self.sparse_token_attempts = int(state["sparse_token_attempts"])
+        self.degraded_tokens = int(state["degraded_tokens"])
+        self.degraded_log = [(int(layer), int(pos))
+                             for layer, pos in state["degraded_log"]]

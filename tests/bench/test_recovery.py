@@ -1,0 +1,73 @@
+"""Smoke test for the crash-recovery benchmark
+(`python -m repro.bench.recovery`).
+
+Runs the real kill-and-recover measurement at a tiny configuration and
+validates the ``BENCH_recovery.json`` schema: the recovery path beats
+recompute, the replay accounting is populated, and the recovered token
+streams are bit-identical to the uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.recovery import (RESULT_NAME, SCHEMA_VERSION,
+                                  run_recovery, validate_payload)
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("recovery")
+    run_recovery(n_requests=3, output_tokens=10, snapshot_every=4,
+                 seed=0, out_dir=out)
+    return json.loads((out / RESULT_NAME).read_text())
+
+
+def test_writes_valid_payload(payload):
+    assert validate_payload(payload) == []
+    assert payload["benchmark"] == "recovery"
+    assert payload["schema_version"] == SCHEMA_VERSION
+
+
+def test_recovery_beats_recompute(payload):
+    recovery = payload["recovery"]
+    assert recovery["speedup_vs_recompute"] > 1.0
+    assert recovery["recovery_s"] \
+        == recovery["snapshot_load_s"] + recovery["replay_s"]
+
+
+def test_replay_accounting_is_coherent(payload):
+    recovery = payload["recovery"]
+    crash = payload["crash"]
+    assert crash["died_at_step"] == crash["kill_step"]
+    # The resume point reached by replay is exactly the crash step.
+    assert recovery["snapshot_step"] + recovery["steps_replayed"] \
+        == crash["kill_step"]
+    assert recovery["tokens_replayed"] >= 0
+    assert not recovery["stale_wal"]
+
+
+def test_outputs_bit_identical(payload):
+    identity = payload["identity"]
+    assert identity["outputs_bit_identical"] is True
+    assert identity["sessions"] == 3
+    assert identity["tokens_compared"] \
+        == payload["uninterrupted"]["tokens_generated"]
+
+
+def test_validator_rejects_regressions(payload):
+    broken = json.loads(json.dumps(payload))
+    broken["recovery"]["speedup_vs_recompute"] = 0.8
+    assert any("beat recompute" in p for p in validate_payload(broken))
+
+    broken = json.loads(json.dumps(payload))
+    broken["identity"]["outputs_bit_identical"] = False
+    assert any("bit-identical" in p for p in validate_payload(broken))
+
+    broken = json.loads(json.dumps(payload))
+    broken["config"]["charged_context"] = 1024
+    assert any("64k" in p for p in validate_payload(broken))
+
+    broken = json.loads(json.dumps(payload))
+    broken["crash"]["kill_step"] = broken["uninterrupted"]["steps"] + 5
+    assert any("beyond" in p for p in validate_payload(broken))

@@ -1,0 +1,123 @@
+"""Fleet worker restart: restore-and-rejoin with exactly-once reporting."""
+
+import collections
+
+import pytest
+
+from repro.bench.serve import TINY_LS
+from repro.llm.config import LLAMA3_8B
+from repro.obs import MetricsRegistry, Obs, Tracer
+from repro.serve.crossval import backend_factory
+from repro.serve.engine import AnalyticTiming
+from repro.system.faults import CrashPlan
+from repro.system.prefill import PrefillModel
+from repro.fleet.router import FleetRouter, make_worker
+
+
+@pytest.fixture
+def make_fleet(durable_model, longsight_system):
+    def build(root, crash_plans=None, n_workers=2, n_blocks=48):
+        def timing_factory(obs):
+            return AnalyticTiming(longsight_system, LLAMA3_8B,
+                                  prefill=PrefillModel(), obs=obs)
+        workers = [make_worker(i, durable_model,
+                               backend_factory("longsight", TINY_LS),
+                               n_blocks=n_blocks,
+                               timing_factory=timing_factory,
+                               durable_root=root)
+                   for i in range(n_workers)]
+        # Private bundle: router counters must not leak across tests
+        # through the process-global default registry.
+        obs = Obs(MetricsRegistry(enabled=True), Tracer(enabled=False))
+        return FleetRouter(workers, snapshot_every=4,
+                           crash_plans=crash_plans or {}, obs=obs)
+    return build
+
+
+def _fleet_outputs(router):
+    outputs = {}
+    for worker in router.workers:
+        run = getattr(worker.run, "run", worker.run)  # unwrap DurableRun
+        for request in run._arrivals:
+            if id(request) not in run._departed:
+                outputs[request.request_id] = list(request.outputs)
+    return outputs
+
+
+def _reported_rids(report):
+    return [e.request_id for w in report.workers for e in w.events]
+
+
+class TestRestoreAndRejoin:
+    @pytest.mark.parametrize("kind", ["kill_after_fsync",
+                                      "kill_before_fsync",
+                                      "torn_snapshot"])
+    @pytest.mark.parametrize("kill_at", [2, 5, 9])
+    def test_killed_worker_restores_bit_identically(
+            self, tmp_path, make_fleet, make_workload, kind, kill_at):
+        reference_router = make_fleet(tmp_path / "ref")
+        reference_report = reference_router.run(
+            make_workload(n_requests=6, seed=11))
+        reference = _fleet_outputs(reference_router)
+        assert len(reference) == 6
+
+        router = make_fleet(
+            tmp_path / f"{kind}-{kill_at}",
+            crash_plans={0: CrashPlan(kill_at_step=kill_at, kind=kind)})
+        report = router.run(make_workload(n_requests=6, seed=11))
+        assert router.worker_restores == 1
+        assert len(router.recoveries) == 1
+        assert _fleet_outputs(router) == reference
+        assert sorted(_reported_rids(report)) \
+            == sorted(_reported_rids(reference_report))
+
+    def test_sessions_stay_home_instead_of_migrating(
+            self, tmp_path, make_fleet, make_workload):
+        """The point of restore-and-rejoin: a worker death must not
+        scatter its sessions across the fleet."""
+        reference_router = make_fleet(tmp_path / "ref")
+        reference_router.run(make_workload(n_requests=6, seed=11))
+
+        router = make_fleet(
+            tmp_path / "crash",
+            crash_plans={0: CrashPlan(kill_at_step=5)})
+        router.run(make_workload(n_requests=6, seed=11))
+        assert router.migrations == reference_router.migrations
+        assert router.obs.metrics.counter("fleet.worker_restores").value \
+            == 1
+
+
+class TestExactlyOnceReporting:
+    def test_restored_worker_never_double_reports(
+            self, tmp_path, make_fleet, make_workload):
+        """Satellite: every request id appears in exactly one worker's
+        report, even when the worker serving it died and restored."""
+        for kill_at in (2, 4, 7, 10):
+            router = make_fleet(
+                tmp_path / f"k{kill_at}",
+                crash_plans={0: CrashPlan(kill_at_step=kill_at)})
+            report = router.run(make_workload(n_requests=6, seed=11))
+            counts = collections.Counter(_reported_rids(report))
+            duplicates = {rid: n for rid, n in counts.items() if n > 1}
+            assert not duplicates, \
+                f"double-reported after kill at {kill_at}: {duplicates}"
+            assert sorted(counts) == list(range(6))
+
+    def test_departures_in_wal_tail_are_not_remigrated(
+            self, tmp_path, make_fleet, make_workload):
+        """A depart record in the unterminated WAL tail means the target
+        already owns the session; the restored worker must honor it via
+        the pending-departure path rather than re-migrating (which would
+        double the session) or re-reporting it."""
+        # Tight pools force preemption->migration traffic between the
+        # two workers, so depart records land near crash points.
+        for kill_at in (3, 6, 9):
+            router = make_fleet(
+                tmp_path / f"k{kill_at}",
+                crash_plans={0: CrashPlan(kill_at_step=kill_at)},
+                n_blocks=32)
+            report = router.run(
+                make_workload(n_requests=8, output_tokens=6, seed=13))
+            counts = collections.Counter(_reported_rids(report))
+            assert all(n == 1 for n in counts.values())
+            assert sorted(counts) == list(range(8))

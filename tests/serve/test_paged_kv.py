@@ -236,6 +236,52 @@ class TestExhaustionDiagnostics:
         assert err.high_watermark == 2
         assert "2 shared prefix blocks" in str(err)
 
+    def test_structured_fields_stay_consistent_under_cow_sharing(self):
+        """After publish + attach (copy-on-write sharing) and divergent
+        growth, every structured field must equal the live pool property
+        it mirrors — shared blocks are counted once, not per attacher."""
+        pool = PagedKVPool(TINY, n_blocks=8, block_tokens=4,
+                           prefix_caching=True)
+        prompt = np.arange(8)
+        publisher = pool.new_cache()
+        k = np.zeros((TINY.n_kv_heads, 8, TINY.head_dim), dtype=np.float32)
+        for layer in range(TINY.n_layers):
+            publisher.append(layer, k, k.copy())
+        publisher.publish_prefix(prompt)
+
+        attacher = pool.new_cache()
+        assert attacher.attach_prefix(prompt) == 8
+        # The attacher then diverges: its growth allocates private blocks
+        # while the shared prefix blocks stay refcounted at 2.
+        grow = np.zeros((TINY.n_kv_heads, 4, TINY.head_dim),
+                        dtype=np.float32)
+        for layer in range(TINY.n_layers):
+            attacher.append(layer, grow, grow.copy())
+        assert all(e.refcount == 2
+                   for e in pool._prefix_index.values())
+
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            pool.allocate(pool.n_free + 1)
+        err = excinfo.value
+        assert err.need == pool.n_free + 1
+        assert err.free == pool.n_free == 5
+        assert err.total == pool.n_blocks
+        assert err.used == pool.n_used == 3  # 2 shared + 1 private
+        assert err.shared_prefix_blocks == pool.shared_blocks == 2
+        assert err.high_watermark == pool.high_watermark
+
+        # Releasing the attacher drops refcounts but keeps the published
+        # blocks shared; the next error must reflect the new occupancy.
+        attacher.free()
+        assert all(e.refcount == 1
+                   for e in pool._prefix_index.values())
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            pool.allocate(pool.n_free + 2)
+        err = excinfo.value
+        assert err.free == pool.n_free == 6
+        assert err.used == pool.n_used == 2
+        assert err.shared_prefix_blocks == pool.shared_blocks == 2
+
     def test_message_only_construction_still_works(self):
         err = PoolExhaustedError("out of blocks")
         assert str(err) == "out of blocks"
