@@ -90,11 +90,23 @@ def fleet_workload(n_steady: int, n_burst: int, vocab_size: int,
 
 
 def _build_fleet(n_workers: int, model: Transformer, system,
-                 blocks_per_worker: int, max_decode_batch: int,
-                 seed: int) -> FleetRouter:
-    """A fresh fleet: per-worker prefix-cached pools and analytic timing."""
-    policy = SloPolicy(max_decode_batch=max_decode_batch,
-                       tenant_classes=TENANTS)
+                 blocks_per_worker: int, max_decode_batch: int, *,
+                 policy: Optional[SloPolicy] = None,
+                 durable_root: Optional[pathlib.Path] = None,
+                 snapshot_every: int = 8,
+                 crash_plans: Optional[dict] = None,
+                 gray_plans: Optional[dict] = None,
+                 health=None) -> FleetRouter:
+    """A fresh fleet: per-worker prefix-cached pools and analytic timing.
+
+    Deterministic by construction — every random choice lives in the
+    seeded trace (:func:`fleet_workload`) and the seeded model, both
+    owned by the caller.  The resilience/durability knobs are forwarded
+    so ``repro.bench.fleet_chaos`` can reuse the exact same fleet.
+    """
+    if policy is None:
+        policy = SloPolicy(max_decode_batch=max_decode_batch,
+                           tenant_classes=TENANTS)
     prefill = PrefillModel()
     factory = backend_factory("longsight", TINY_LS)
     workers = [
@@ -102,17 +114,20 @@ def _build_fleet(n_workers: int, model: Transformer, system,
             wid, model, factory, n_blocks=blocks_per_worker,
             block_tokens=16, policy=policy,
             timing_factory=lambda obs: AnalyticTiming(
-                system, LLAMA3_8B, prefill=prefill, obs=obs))
+                system, LLAMA3_8B, prefill=prefill, obs=obs),
+            durable_root=durable_root)
         for wid in range(n_workers)
     ]
-    return FleetRouter(workers)
+    return FleetRouter(workers, snapshot_every=snapshot_every,
+                       crash_plans=crash_plans, gray_plans=gray_plans,
+                       health=health)
 
 
 def _run_point(n_workers: int, model: Transformer, system,
-               blocks_per_worker: int, max_decode_batch: int, seed: int,
+               blocks_per_worker: int, max_decode_batch: int,
                requests: Sequence[ServeRequest]) -> FleetReport:
     fleet = _build_fleet(n_workers, model, system, blocks_per_worker,
-                         max_decode_batch, seed)
+                         max_decode_batch)
     return fleet.run(requests)
 
 
@@ -142,16 +157,16 @@ def run_fleet(workers_axis: Sequence[int] = (1, 2, 4),
     sweep: List[dict] = []
     for n_workers in workers_axis:
         report = _run_point(n_workers, model, system, blocks_per_worker,
-                            max_decode_batch, seed, trace())
+                            max_decode_batch, trace())
         sweep.append(report.as_dict())
 
     # Fairness A/B at the first multi-worker point: the steady tenant's
     # p99 TTFT with the burst tenant present vs with it removed.
     fair_workers = workers_axis[1]
     contended = _run_point(fair_workers, model, system, blocks_per_worker,
-                           max_decode_batch, seed, trace())
+                           max_decode_batch, trace())
     alone = _run_point(fair_workers, model, system, blocks_per_worker,
-                       max_decode_batch, seed, trace(include_burst=False))
+                       max_decode_batch, trace(include_burst=False))
     p99_contended = contended.ttft_percentile_s(99.0, tenant="steady")
     p99_alone = alone.ttft_percentile_s(99.0, tenant="steady")
     fairness = {

@@ -54,6 +54,8 @@ REGISTRY: Dict[str, BenchSpec] = {
                   "obs_overhead"),
         BenchSpec("repro.bench.recovery", "BENCH_recovery.json",
                   "recovery"),
+        BenchSpec("repro.bench.fleet_chaos", "BENCH_fleet_chaos.json",
+                  "fleet_chaos"),
     )
 }
 

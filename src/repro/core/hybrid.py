@@ -149,6 +149,20 @@ class LongSightAttention:
         self._threshold_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
         self._threshold_cache_key: Optional[int] = None
 
+    def with_config(self, config: LongSightConfig) -> "LongSightAttention":
+        """A variant backend with swapped retrieval knobs, shared state.
+
+        The serving brownout ladder serves some tokens at reduced
+        ``top_k`` / raised ``thresholds``; both are query-time knobs (the
+        stored packed-sign layout is identical across variants), so the
+        variant can read the same KV cache.  Rotations and the obs bundle
+        are shared; stats/selection capture are not (variants are
+        transient quality levels, not measurement subjects).
+        """
+        return LongSightAttention(config, rotations=self.rotations,
+                                  use_fast_path=self.use_fast_path,
+                                  obs=self.obs)
+
     # -- cache integration ----------------------------------------------------
 
     def prepare_cache(self, cache: "KVCache") -> None:

@@ -81,6 +81,8 @@ def serialize_request(request: ServeRequest,
             "migrations": int(events.migrations),
             "shed": bool(events.shed),
             "rejected": bool(events.rejected),
+            "brownout_tokens": {str(stage): int(count) for stage, count
+                                in sorted(events.brownout_tokens.items())},
         },
         "cache": None,
         "backend_state": None,
@@ -137,6 +139,8 @@ def build_request(data: dict) -> ServeRequest:
     ev.migrations = int(ed["migrations"])
     ev.shed = bool(ed["shed"])
     ev.rejected = bool(ed["rejected"])
+    ev.brownout_tokens = {int(k): int(v) for k, v
+                          in ed.get("brownout_tokens", {}).items()}
     return request
 
 

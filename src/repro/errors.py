@@ -109,3 +109,18 @@ class WorkerKilledError(DurabilityError):
         super().__init__(message)
         self.step = step
         self.kind = kind
+
+
+class WorkerStalledError(ReproError):
+    """A worker blew its step deadline (gray failure: hung, wedged, or
+    pathologically slow).  The fleet router's bounded-wait guard raises
+    this instead of blocking the lockstep loop forever; with healthy
+    siblings available the router converts it into a cross-worker
+    failover, otherwise it propagates to the caller."""
+
+    def __init__(self, message: str, *, worker_id: int = -1,
+                 deadline_s: float = 0.0, observed_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.deadline_s = deadline_s
+        self.observed_s = observed_s

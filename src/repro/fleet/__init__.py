@@ -14,18 +14,30 @@ stay bit-identical to an uninterrupted solo run.
 Layout:
 
 - :mod:`repro.fleet.router` — :class:`FleetWorker`, :class:`FleetRouter`
-  (placement, migration, the lockstep-laggard stepping loop);
+  (placement, migration, the lockstep-laggard stepping loop, gray-failure
+  failover);
+- :mod:`repro.fleet.resilience` — :class:`HealthMonitor` /
+  :class:`HealthPolicy` / :class:`WorkerState` (phi-accrual-style
+  suspicion over step latencies) and :class:`GrayRun` (deterministic
+  gray-failure injection);
 - :mod:`repro.fleet.report` — :class:`FleetReport` (per-worker
   :class:`~repro.serve.events.ServeReport` reduction plus the merged
   :class:`~repro.obs.MetricsRegistry`).
 """
 
 from repro.fleet.report import FleetReport
+from repro.fleet.resilience import (GrayRun, HealthMonitor, HealthPolicy,
+                                    WorkerHealth, WorkerState)
 from repro.fleet.router import FleetRouter, FleetWorker, make_worker
 
 __all__ = [
     "FleetReport",
     "FleetRouter",
     "FleetWorker",
+    "GrayRun",
+    "HealthMonitor",
+    "HealthPolicy",
+    "WorkerHealth",
+    "WorkerState",
     "make_worker",
 ]

@@ -32,6 +32,13 @@ class FleetReport:
     #: sum of per-pool shared-block peaks (pools are disjoint, so this is
     #: the fleet's peak resident shared footprint up to step skew).
     shared_blocks_peak: int
+    #: resilience accounting (defaults keep hand-built reports working).
+    failovers: int = 0
+    failover_sessions: int = 0
+    failover_latency_s: List[float] = dataclasses.field(
+        default_factory=list)
+    worker_suspects: int = 0
+    worker_restores: int = 0
 
     # -- pooled views ---------------------------------------------------------
 
@@ -80,6 +87,40 @@ class FleetReport:
         """Fraction of full-block prefix lookups served from the cache."""
         total = self.prefix_hits + self.prefix_misses
         return self.prefix_hits / total if total else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of arrived requests that completed un-shed fleet-wide
+        (rejected/shed count against it; an empty run is vacuously up)."""
+        events = self.events
+        if not events:
+            return 1.0
+        served = sum(1 for e in events
+                     if e.finished_s is not None and not e.shed)
+        return served / len(events)
+
+    @property
+    def failover_latency_max_s(self) -> float:
+        return max(self.failover_latency_s, default=0.0)
+
+    # -- brownout (pooled per-token attribution) ------------------------------
+
+    @property
+    def brownout_stage_tokens(self) -> Dict[int, int]:
+        pooled: Dict[int, int] = {}
+        for e in self.events:
+            for stage, count in e.brownout_tokens.items():
+                pooled[stage] = pooled.get(stage, 0) + count
+        return dict(sorted(pooled.items()))
+
+    @property
+    def brownout_tokens(self) -> int:
+        return sum(self.brownout_stage_tokens.values())
+
+    @property
+    def brownout_token_fraction(self) -> float:
+        total = self.tokens_generated
+        return self.brownout_tokens / total if total else 0.0
 
     # -- SLO metrics (exact, over the pooled events) --------------------------
 
@@ -141,6 +182,20 @@ class FleetReport:
             "rejected": self.rejected,
             "preemptions": self.preemptions,
             "migrations": self.migrations,
+            "availability": self.availability,
+            "health": {
+                "failovers": self.failovers,
+                "failover_sessions": self.failover_sessions,
+                "failover_latency_s": list(self.failover_latency_s),
+                "failover_latency_max_s": self.failover_latency_max_s,
+                "worker_suspects": self.worker_suspects,
+                "worker_restores": self.worker_restores,
+            },
+            "brownout": {
+                "stage_tokens": {str(s): n for s, n
+                                 in self.brownout_stage_tokens.items()},
+                "token_fraction": self.brownout_token_fraction,
+            },
             "prefix": {
                 "hits": self.prefix_hits,
                 "misses": self.prefix_misses,

@@ -25,23 +25,39 @@ worker, where the standard resume path re-prefills ``prompt +
 outputs[:-1]`` and replays the last token — bit-identical to an
 uninterrupted run.  A per-request migration cap prevents ping-pong; a
 request over its cap is re-queued (or shed) locally by the source.
+
+Resilience (see :mod:`repro.fleet.resilience`): every guarded step feeds
+a :class:`HealthMonitor` with the worker's observed latency (wall time
+plus any simulated :class:`GrayRun` stall).  A SUSPECT worker is drained
+— no new placements, stepped only as an occasional hedged probe so the
+healthy laggard keeps the fleet moving — and self-heals when its
+suspicion drops.  A FAILED worker is *failed over*: its newest durable
+snapshot + WAL suffix are recovered into a fresh engine and every live
+session is shipped to a healthy sibling (recompute migration from the
+intact in-memory run when no verifiable snapshot exists).  With no live
+sibling left the bounded-wait guard raises
+:class:`~repro.errors.WorkerStalledError` instead of hanging the loop.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.durable import DurableRun, RecoveryStats, recover
-from repro.errors import WorkerKilledError
+from repro.errors import (SnapshotCorruptError, WorkerKilledError,
+                          WorkerStalledError)
 from repro.llm.model import Transformer
 from repro.obs import MetricsRegistry, Obs, Tracer, resolve_obs
 from repro.serve.engine import ServeEngine, TimingModel
 from repro.serve.paged_kv import PagedKVPool
 from repro.serve.scheduler import ServeRequest, SloPolicy
-from repro.system.faults import CrashPlan
+from repro.system.faults import CrashPlan, GrayFailurePlan
 
 from repro.fleet.report import FleetReport
+from repro.fleet.resilience import (GrayRun, HealthMonitor, HealthPolicy,
+                                    WorkerState)
 
 
 class FleetWorker:
@@ -119,6 +135,12 @@ class FleetRouter:
             ``fleet.migrations``); worker metrics live in each worker's
             own registry.
         max_steps: hard bound on total worker steps across the run.
+        gray_plans: per-worker :class:`GrayFailurePlan` schedules; the
+            worker's run is wrapped in a :class:`GrayRun` proxy so its
+            simulated stalls drive the real detection path.
+        health: suspicion-model knobs (:class:`HealthPolicy` defaults
+            when ``None`` — monitoring is always on; with wall steps in
+            the milliseconds the deadline floor keeps it inert).
     """
 
     def __init__(self, workers: Sequence[FleetWorker],
@@ -126,7 +148,9 @@ class FleetRouter:
                  obs: Optional[Obs] = None,
                  max_steps: int = 4_000_000,
                  snapshot_every: int = 8,
-                 crash_plans: Optional[Dict[int, CrashPlan]] = None) -> None:
+                 crash_plans: Optional[Dict[int, CrashPlan]] = None,
+                 gray_plans: Optional[Dict[int, GrayFailurePlan]] = None,
+                 health: Optional[HealthPolicy] = None) -> None:
         if not workers:
             raise ValueError("a fleet needs at least one worker")
         ids = [w.worker_id for w in workers]
@@ -141,10 +165,15 @@ class FleetRouter:
         self.max_steps = max_steps
         self.snapshot_every = snapshot_every
         self.crash_plans = dict(crash_plans or {})
+        self.gray_plans = dict(gray_plans or {})
+        self.monitor = HealthMonitor(health)
         self._affinity: Dict[str, FleetWorker] = {}
         self.migrations = 0
         self.worker_restores = 0
         self.recoveries: List[RecoveryStats] = []
+        self.failovers = 0
+        self.failover_sessions = 0
+        self.failover_latency_s: List[float] = []
 
     # -- the fleet loop -------------------------------------------------------
 
@@ -158,13 +187,21 @@ class FleetRouter:
                     crash=self.crash_plans.get(worker.worker_id))
             else:
                 worker.run = worker.engine.start([])
+            plan = self.gray_plans.get(worker.worker_id)
+            if plan is not None:
+                worker.run = GrayRun(worker.run, plan)
             self._install_handler(worker)
+            self.monitor.attach(worker.worker_id, worker.obs.metrics)
         pending = sorted(requests,
                          key=lambda r: (r.arrival_s, r.request_id))
         next_dispatch = 0
+        probe_every = self.monitor.policy.probe_every
+        step_key = lambda w: (w.run.clock, w.worker_id)  # noqa: E731
         try:
-            for _ in range(self.max_steps):
-                busy = [w for w in self.workers if not w.run.idle]
+            for iteration in range(1, self.max_steps + 1):
+                active = [w for w in self.workers
+                          if self._worker_state(w) is not WorkerState.FAILED]
+                busy = [w for w in active if not w.run.idle]
                 if not busy and next_dispatch >= len(pending):
                     break
                 # Dispatch every arrival at or before the laggard's clock:
@@ -177,15 +214,25 @@ class FleetRouter:
                         and pending[next_dispatch].arrival_s <= frontier:
                     self._dispatch(pending[next_dispatch])
                     next_dispatch += 1
-                busy = [w for w in self.workers if not w.run.idle]
+                active = [w for w in self.workers
+                          if self._worker_state(w) is not WorkerState.FAILED]
+                busy = [w for w in active if not w.run.idle]
                 if not busy:
                     continue
-                laggard = min(busy,
-                              key=lambda w: (w.run.clock, w.worker_id))
-                try:
-                    laggard.run.step()
-                except WorkerKilledError:
-                    self._recover_worker(laggard)
+                healthy_busy = [w for w in busy if self._worker_state(w)
+                                is WorkerState.HEALTHY]
+                suspect_busy = [w for w in busy if w not in healthy_busy]
+                if healthy_busy:
+                    self._guarded_step(min(healthy_busy, key=step_key))
+                    # Hedged probe: a suspect is stepped off the critical
+                    # path so it can prove recovery (or finish failing)
+                    # without the healthy laggard ever waiting on it.
+                    if suspect_busy and iteration % probe_every == 0:
+                        self._guarded_step(min(suspect_busy, key=step_key))
+                else:
+                    # Only suspects hold live work: probing the suspect
+                    # laggard is the sole way forward.
+                    self._guarded_step(min(suspect_busy, key=step_key))
             else:
                 raise RuntimeError(
                     f"fleet did not converge within {self.max_steps} steps")
@@ -207,17 +254,35 @@ class FleetRouter:
                 f"fleet.worker{worker.worker_id}.dispatched").inc()
         worker.run.inject(request)
 
+    def _worker_state(self, worker: FleetWorker) -> WorkerState:
+        return self.monitor.state_or_healthy(worker.worker_id)
+
     def _place(self, request: ServeRequest) -> FleetWorker:
-        """Pick the worker to serve ``request`` (see module docstring)."""
+        """Pick the worker to serve ``request`` (see module docstring).
+
+        SUSPECT workers are drained — they keep their sessions (affinity
+        still binds, suspicion usually self-heals) but take no *new*
+        placements while any healthy worker exists; FAILED workers take
+        nothing.
+        """
         if request.session is not None \
                 and request.session in self._affinity:
-            return self._affinity[request.session]
-        fits = [w for w in self.workers
+            home = self._affinity[request.session]
+            if self._worker_state(home) is not WorkerState.FAILED:
+                return home
+        candidates = [w for w in self.workers
+                      if self._worker_state(w) is not WorkerState.FAILED]
+        if not candidates:           # unreachable: the last failure raises
+            candidates = [self.workers[0]]
+        healthy = [w for w in candidates
+                   if self._worker_state(w) is WorkerState.HEALTHY]
+        pool = healthy or candidates
+        fits = [w for w in pool
                 if self._session_blocks(w, request) <= w.pool.n_blocks]
         if not fits:
-            # Nobody can ever hold it; let worker 0's admission shed it
-            # through the standard impossible-fit path.
-            return self.workers[0]
+            # Nobody can ever hold it; let the first live worker's
+            # admission shed it through the standard impossible-fit path.
+            return pool[0]
         prompt = request.prompt
         return max(fits, key=lambda w: (
             w.pool.longest_prefix_tokens(prompt),
@@ -258,9 +323,19 @@ class FleetRouter:
         if worker.engine_factory is None or worker.durable_dir is None:
             raise  # not durable: the kill is fatal; re-raise it
         worker.engine.migrate_handler = None
+        old_metrics = worker.obs.metrics
         worker.engine = worker.engine_factory()
         worker.run, stats = recover(worker.durable_dir, worker.engine,
                                     snapshot_every=self.snapshot_every)
+        # Health instruments (fleet.*) are router-owned, never replayed:
+        # transplant them across the engine swap so the latency baseline
+        # and suspicion counters survive into the merged fleet report.
+        if worker.obs.metrics.enabled:
+            worker.obs.metrics.merge_prefixed(old_metrics, "fleet.")
+        self.monitor.attach(worker.worker_id, worker.obs.metrics)
+        plan = self.gray_plans.get(worker.worker_id)
+        if plan is not None:
+            worker.run = GrayRun(worker.run, plan)
         self._install_handler(worker)
         self.worker_restores += 1
         self.recoveries.append(stats)
@@ -269,6 +344,153 @@ class FleetRouter:
             metrics.counter("fleet.worker_restores").inc()
             metrics.counter(
                 f"fleet.worker{worker.worker_id}.restores").inc()
+
+    # -- gray failure: bounded wait + failover --------------------------------
+
+    def _guarded_step(self, worker: FleetWorker) -> None:
+        """Step ``worker`` under the bounded-wait guard: observed latency
+        (wall plus simulated stall) feeds the health monitor; a FAILED
+        verdict triggers failover (or :class:`WorkerStalledError` when no
+        live sibling remains)."""
+        t0 = time.perf_counter()
+        try:
+            worker.run.step()
+        except WorkerKilledError:
+            self._recover_worker(worker)
+            return  # recovery time is not a step-latency sample
+        wall = time.perf_counter() - t0
+        consume = getattr(worker.run, "consume_stall", None)
+        stall = consume() if callable(consume) else 0.0
+        observed = wall + stall
+        _, after = self.monitor.observe(worker.worker_id, observed)
+        if after is WorkerState.FAILED:
+            self._fail_worker(worker, observed_s=observed)
+
+    def _fail_worker(self, worker: FleetWorker,
+                     observed_s: float = 0.0) -> None:
+        """Fail ``worker`` over: recover its durable state into a fresh
+        engine and ship every live session to a healthy sibling.
+
+        The durable path is true failover — newest verified snapshot plus
+        WAL suffix, with the wedged run's unflushed records fenced off
+        (``drop_unsynced``) exactly as if the process were unreachable.
+        Without a verifiable snapshot (or a durable dir at all) the
+        sessions recompute-migrate off the intact in-memory run instead.
+        Either way departures are exactly-once: pending departures already
+        delivered pre-failure are consumed, not re-shipped.
+        """
+        self.monitor.mark_failed(worker.worker_id)
+        siblings = [w for w in self.workers if w is not worker
+                    and self._worker_state(w) is not WorkerState.FAILED]
+        deadline = self.monitor.deadline_s(worker.worker_id)
+        if not siblings:
+            raise WorkerStalledError(
+                f"worker {worker.worker_id} stalled ({observed_s:.3f}s "
+                f"step vs {deadline:.3f}s deadline) with no live sibling "
+                "to fail over to",
+                worker_id=worker.worker_id, deadline_s=deadline,
+                observed_s=observed_s)
+        t0 = time.perf_counter()
+        run = worker.run
+        inner = run.inner if isinstance(run, GrayRun) else run
+        worker.engine.migrate_handler = None
+        recovered = False
+        if worker.durable_dir is not None \
+                and worker.engine_factory is not None:
+            wal = getattr(inner, "wal", None)
+            if wal is not None:
+                # Fence the wedged run: its unflushed records never land
+                # and it can no longer write to the durable directory.
+                wal.drop_unsynced()
+                wal.close()
+            old_metrics = worker.obs.metrics
+            try:
+                engine = worker.engine_factory()
+                new_run, stats = recover(worker.durable_dir, engine,
+                                         snapshot_every=self.snapshot_every)
+            except SnapshotCorruptError:
+                pass         # no verifiable snapshot: recompute-migrate
+            else:
+                worker.engine = engine
+                worker.run = new_run
+                self.recoveries.append(stats)
+                if engine.obs.metrics.enabled:
+                    engine.obs.metrics.merge_prefixed(old_metrics, "fleet.")
+                recovered = True
+        if not recovered:
+            # The raw in-memory run: for a fenced durable victim the
+            # DurableRun can no longer log, so drain beneath it.
+            worker.run = getattr(inner, "run", inner)
+        moved = self._drain_sessions(worker, worker.run)
+        latency = time.perf_counter() - t0
+        self.failovers += 1
+        self.failover_sessions += moved
+        self.failover_latency_s.append(latency)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("fleet.failovers").inc()
+            metrics.counter(f"fleet.worker{worker.worker_id}.failovers").inc()
+            metrics.counter("fleet.failover_sessions").inc(moved)
+            metrics.histogram("fleet.failover_latency_s",
+                              track_values=True).observe(latency)
+        wmetrics = worker.obs.metrics
+        if wmetrics.enabled:
+            wmetrics.counter("fleet.failovers").inc()
+            wmetrics.counter("fleet.failover_recovered" if recovered
+                             else "fleet.failover_recomputed").inc()
+
+    def _drain_sessions(self, victim: FleetWorker, run) -> int:
+        """Move every live session off ``run`` to failover targets."""
+        scheduler = run.scheduler
+        clock = run.clock
+        pending_dep = set(getattr(run, "_pending_departures", ()) or ())
+        engine_run = getattr(run, "run", run)
+        already_gone = getattr(engine_run, "_departed", set())
+        sessions: List[ServeRequest] = []
+        for request in list(scheduler.running):
+            scheduler.detach(request)
+            sessions.append(request)
+        sessions.extend(scheduler.drain_queued())
+        sessions.extend(run.pending)
+        moved = 0
+        for request in sessions:
+            if id(request) in already_gone:
+                continue
+            if request.request_id in pending_dep:
+                # Delivered to its target before the failure; consuming
+                # the pending departure keeps accounting exactly-once.
+                run.note_departure(request)
+                continue
+            target = self._failover_target(victim, request)
+            request.arrival_s = max(request.arrival_s, clock)
+            if request.session is not None:
+                self._affinity[request.session] = target
+            request.events.migrations += 1
+            run.note_departure(request)
+            target.run.inject(request)
+            tmetrics = target.obs.metrics
+            if tmetrics.enabled:
+                tmetrics.counter("serve.failover_in").inc()
+            moved += 1
+        return moved
+
+    def _failover_target(self, victim: FleetWorker,
+                         request: ServeRequest) -> FleetWorker:
+        """Best live sibling for a drained session: HEALTHY before
+        SUSPECT, then the standard prefix-locality / load ranking; a
+        session no sibling can ever hold still lands somewhere and sheds
+        through the target's impossible-fit admission path."""
+        candidates = [w for w in self.workers if w is not victim
+                      and self._worker_state(w) is not WorkerState.FAILED]
+        healthy = [w for w in candidates
+                   if self._worker_state(w) is WorkerState.HEALTHY]
+        pool = healthy or candidates
+        fits = [w for w in pool
+                if self._session_blocks(w, request) <= w.pool.n_blocks]
+        return max(fits or pool, key=lambda w: (
+            w.pool.longest_prefix_tokens(request.prompt),
+            self._free_score(w),
+            -w.worker_id))
 
     # -- migration ------------------------------------------------------------
 
@@ -322,6 +544,8 @@ class FleetRouter:
         for worker in self.workers:
             if worker is source:
                 continue
+            if self._worker_state(worker) is WorkerState.FAILED:
+                continue
             pool = worker.pool
             if self._session_blocks(worker, request) > pool.n_blocks:
                 continue
@@ -333,6 +557,7 @@ class FleetRouter:
         if not candidates:
             return None
         return max(candidates, key=lambda w: (
+            self._worker_state(w) is WorkerState.HEALTHY,
             w.pool.longest_prefix_tokens(request.prompt),
             self._free_score(w),
             -w.worker_id))
@@ -356,4 +581,9 @@ class FleetRouter:
             prefix_misses=sum(w.pool.prefix_misses for w in self.workers),
             shared_blocks_peak=sum(w.pool.shared_blocks_peak
                                    for w in self.workers),
+            failovers=self.failovers,
+            failover_sessions=self.failover_sessions,
+            failover_latency_s=list(self.failover_latency_s),
+            worker_suspects=self.monitor.suspect_transitions,
+            worker_restores=self.worker_restores,
         )

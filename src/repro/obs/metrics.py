@@ -288,6 +288,38 @@ class MetricsRegistry:
                 clone.merge(hist)
                 self._histograms[name] = clone
 
+    def merge_prefixed(self, other: "MetricsRegistry",
+                       prefix: str) -> None:
+        """Fold in only ``other``'s instruments named under ``prefix``.
+
+        The fleet router uses this to transplant its health instruments
+        (``fleet.*``) across an engine swap after a restore or failover:
+        those are router-owned and never replayed, so carrying them over
+        is safe, while a whole-registry merge would double count the
+        ``serve.*`` work the fresh engine re-executes during recovery.
+        """
+        if not self.enabled:
+            return
+        for name, counter in other._counters.items():
+            if name.startswith(prefix):
+                self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            if name.startswith(prefix):
+                mine = self.gauge(name)
+                mine.set(max(mine.value, gauge.value))
+                mine.high_watermark = max(mine.high_watermark,
+                                          gauge.high_watermark)
+        for name, hist in other._histograms.items():
+            if not name.startswith(prefix):
+                continue
+            if name in self._histograms:
+                self._histograms[name].merge(hist)
+            else:
+                clone = Histogram(name, edges=hist.edges,
+                                  track_values=hist.values is not None)
+                clone.merge(hist)
+                self._histograms[name] = clone
+
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()

@@ -259,6 +259,53 @@ class ServeEngine:
 
         return isinstance(request.backend, SlidingWindowAttention)
 
+    # -- brownout (overload degradation ladder) -------------------------------
+
+    def _brownout_backend(self, request: ServeRequest, stage: int):
+        """Effective decode backend under brownout ``stage``.
+
+        Returns ``(backend, applied_stage)``; ``applied_stage`` is 0
+        whenever service is actually unchanged (stage 0, an already
+        dense-pinned session, or a backend without the config hooks), so
+        only genuinely degraded tokens are attributed to the ladder.
+
+        Safe on the live cache: ``top_k`` / ``thresholds`` are
+        query-time retrieval knobs (the packed-sign layout is identical
+        across variants) and K/V projections are backend-independent, so
+        a variant — or the dense sliding-window twin — reads the same
+        blocks the full-quality backend wrote.  Variants are memoized on
+        the backend instance (one per serving batch), not rebuilt per
+        token.
+        """
+        if stage <= 0 or request.pinned_dense:
+            return request.backend, 0
+        backend = request.backend
+        if stage >= 3:
+            dense = self._dense_pin_of(backend)
+            return dense, 3 if dense is not backend else 0
+        policy = self.policy.brownout
+        cfg = getattr(backend, "config", None)
+        with_config = getattr(backend, "with_config", None)
+        if policy is None or cfg is None or not callable(with_config) \
+                or not hasattr(cfg, "top_k"):
+            return backend, 0
+        variants = getattr(backend, "_brownout_variants", None)
+        if variants is None:
+            variants = {}
+            try:
+                backend._brownout_variants = variants
+            except AttributeError:
+                pass  # __slots__ backend: variants live one step
+        if stage not in variants:
+            shrunk = max(1, int(cfg.top_k * policy.top_k_scale))
+            new_cfg = cfg.replace(top_k=shrunk)
+            if stage >= 2:
+                bumped = np.asarray(cfg.thresholds) + policy.threshold_bump
+                new_cfg = new_cfg.replace(
+                    thresholds=int(bumped) if bumped.ndim == 0 else bumped)
+            variants[stage] = with_config(new_cfg)
+        return variants[stage], stage
+
     # -- one step -------------------------------------------------------------
 
     def _execute(self, scheduler: ContinuousBatchScheduler,
@@ -349,24 +396,39 @@ class ServeEngine:
         # ready; drop anything no longer in DECODE before batching.
         ready = [r for r in ready if r.state is RequestState.DECODE]
         if ready:
-            before = [self._backend_degraded(r.backend) for r in ready]
+            stage = scheduler.brownout_stage
+            backends = []
+            applied_stages = []
+            for request in ready:
+                backend, applied = self._brownout_backend(request, stage)
+                backends.append(backend)
+                applied_stages.append(applied)
+            before = [self._backend_degraded(b) for b in backends]
             with tracer.span("decode_batch", batch=len(ready)):
                 logits_list = self.model.decode_step_batch(
                     [r.pending_token for r in ready],
                     [r.cache for r in ready],
-                    [r.backend for r in ready])
-            for request, logits, seen in zip(ready, logits_list, before):
+                    backends)
+            for request, logits, seen, backend, applied in zip(
+                    ready, logits_list, before, backends, applied_stages):
                 token = int(np.argmax(logits))
                 request.outputs.append(token)
                 request.pending_token = token
                 emitted.append(request)
-                now_degraded = self._backend_degraded(request.backend)
+                now_degraded = self._backend_degraded(backend)
                 degraded = request.pinned_dense or now_degraded > seen
                 degraded_flags.append((request, degraded))
+                if applied:
+                    scheduler.note_brownout(request, applied)
             if self.timing is not None:
+                # Stage-3 (dense-pin) brownout tokens take the degraded
+                # step-latency path: they were served by exactly the
+                # dense sliding-window fallback the fault layer degrades
+                # to, which is what buys queue drain under overload.
                 analytic_s += self.timing.decode_step_s(
                     [r.charged_context for r in ready],
-                    [flag for _, flag in degraded_flags])
+                    [flag or applied >= 3 for (_, flag), applied
+                     in zip(degraded_flags, applied_stages)])
 
         step_s = analytic_s if self.timing is not None \
             else time.perf_counter() - wall0
@@ -434,9 +496,13 @@ class EngineRun:
 
     @property
     def idle(self) -> bool:
-        """No pending arrivals and nothing queued or running."""
-        return self._next_arrival >= len(self._arrivals) \
-            and self.scheduler.all_done
+        """No pending arrivals and nothing queued or running.
+
+        Future arrivals already departed (drained off by a failover) do
+        not count — a fully drained run is idle even though its arrival
+        cursor never swept past them.
+        """
+        return not self.pending and self.scheduler.all_done
 
     @property
     def next_arrival_s(self) -> Optional[float]:
@@ -482,6 +548,7 @@ class EngineRun:
             if id(request) not in self._departed:
                 scheduler.submit(request)
             self._next_arrival += 1
+        scheduler.update_brownout(self.clock)
         for request in scheduler.admit(self.clock):
             engine._attach(request)
         plan = scheduler.assemble()

@@ -39,6 +39,14 @@ class RequestEvents:
     migrations: int = 0         # cross-worker relocations (fleet runs)
     shed: bool = False          # finished pinned to the dense fallback
     rejected: bool = False      # never admitted (SLO or capacity)
+    #: brownout ladder attribution: stage -> tokens of this request
+    #: decoded at that stage (mirrors the degradation log; stage names
+    #: in :data:`repro.serve.scheduler.BROWNOUT_STAGES`).
+    brownout_tokens: Dict[int, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def brownout_token_total(self) -> int:
+        return sum(self.brownout_tokens.values())
 
     @property
     def ttft_s(self) -> Optional[float]:
@@ -75,6 +83,8 @@ class RequestEvents:
             "migrations": self.migrations,
             "shed": self.shed,
             "rejected": self.rejected,
+            "brownout_tokens": {str(stage): count for stage, count
+                                in sorted(self.brownout_tokens.items())},
         }
 
 
@@ -181,6 +191,25 @@ class ServeReport:
         return self.degraded_tokens / self.tokens_generated
 
     @property
+    def brownout_tokens(self) -> int:
+        return sum(e.brownout_token_total for e in self.events)
+
+    @property
+    def brownout_stage_tokens(self) -> Dict[int, int]:
+        """Pooled brownout attribution: stage -> tokens served at it."""
+        pooled: Dict[int, int] = {}
+        for e in self.events:
+            for stage, count in e.brownout_tokens.items():
+                pooled[stage] = pooled.get(stage, 0) + count
+        return dict(sorted(pooled.items()))
+
+    @property
+    def brownout_token_fraction(self) -> float:
+        if self.tokens_generated == 0:
+            return 0.0
+        return self.brownout_tokens / self.tokens_generated
+
+    @property
     def availability(self) -> float:
         """Completed-with-sparse-service fraction (mirrors ServingReport)."""
         done = self.completed
@@ -206,6 +235,11 @@ class ServeReport:
             "peak_decode_batch": self.peak_decode_batch,
             "degraded_token_fraction": self.degraded_token_fraction,
             "availability": self.availability,
+            "brownout": {
+                "stage_tokens": {str(s): n for s, n
+                                 in self.brownout_stage_tokens.items()},
+                "token_fraction": self.brownout_token_fraction,
+            },
             "pool": {"n_blocks": self.pool_blocks,
                      "high_watermark": self.pool_high_watermark},
             "tenants": self.tenant_summary(),

@@ -65,6 +65,90 @@ class TenantClass:
             raise ValueError("tenant weight must be >= 1")
 
 
+#: Human-readable names of the brownout ladder stages, by stage index.
+BROWNOUT_STAGES = ("normal", "shrink_topk", "raise_threshold",
+                   "dense_pin", "shed")
+
+
+@dataclasses.dataclass(frozen=True)
+class BrownoutPolicy:
+    """Overload brownout ladder: staged degradation before shedding.
+
+    Under overload the scheduler climbs a ladder of progressively
+    cheaper service instead of dropping requests outright — the
+    SparseAccelerate observation (sparsity level is a runtime resource
+    knob) applied to serving:
+
+    - stage 1 (``shrink_topk``): decode with ``top_k`` scaled by
+      ``top_k_scale`` — fewer sparse keys retrieved per head;
+    - stage 2 (``raise_threshold``): additionally raise the SCF
+      sign-agreement threshold by ``threshold_bump`` — a stricter filter
+      passes fewer keys to score at all;
+    - stage 3 (``dense_pin``): decode on the dense sliding-window
+      fallback for the step (the supervisor's degradation target);
+    - stage 4 (``shed``): on top of stage 3, shed the *youngest* queued
+      requests beyond ``shed_to_depth`` — load has outrun even the
+      cheapest service.
+
+    Stages 1-3 are per-step, per-token effects: the KV cache layout is
+    query-independent (``top_k`` and ``thresholds`` are retrieval-time
+    knobs and K/V projections are backend-independent), so a variant
+    backend can serve a token from the same cache and the session
+    returns to full quality the moment the ladder steps down.  Entry is
+    driven by queue depth (``queue_high``) and head-of-queue wait
+    against the TTFT budget (``budget_fractions`` of ``ttft_budget_s``);
+    exit requires both signals below ``exit_fraction`` of the current
+    stage's entry point (hysteresis), one stage per scheduler pass.
+    While any stage is active, admissions are paced to
+    ``admit_per_step`` per scheduler pass (admission-rate control).
+    """
+
+    #: queue depths entering stages 1..4.
+    queue_high: Tuple[int, int, int, int] = (6, 10, 14, 18)
+    #: head-of-queue TTFT budget; ``None`` disables the wait signal.
+    ttft_budget_s: Optional[float] = None
+    #: fractions of ``ttft_budget_s`` entering stages 1..4.
+    budget_fractions: Tuple[float, float, float, float] = \
+        (0.25, 0.5, 0.75, 1.0)
+    #: de-escalation hysteresis: exit = this fraction of the entry point.
+    exit_fraction: float = 0.5
+    #: stage-1 multiplier on the backend's ``top_k``.
+    top_k_scale: float = 0.5
+    #: stage-2 increment on the SCF sign-agreement threshold(s).
+    threshold_bump: int = 2
+    #: admissions per scheduler pass while browned out (>= 1).
+    admit_per_step: int = 1
+    #: stage-4 shed target depth; ``None`` uses ``queue_high[-1]``.
+    shed_to_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if len(self.queue_high) != 4 or len(self.budget_fractions) != 4:
+            raise ValueError("queue_high and budget_fractions must give "
+                             "entry points for all four stages")
+        if any(b <= a for a, b in zip(self.queue_high,
+                                      self.queue_high[1:])):
+            raise ValueError("queue_high must be strictly increasing")
+        if any(b <= a for a, b in zip(self.budget_fractions,
+                                      self.budget_fractions[1:])):
+            raise ValueError("budget_fractions must be strictly increasing")
+        if self.queue_high[0] < 1:
+            raise ValueError("queue_high entries must be >= 1")
+        if self.budget_fractions[0] <= 0.0:
+            raise ValueError("budget_fractions must be > 0")
+        if self.ttft_budget_s is not None and self.ttft_budget_s <= 0:
+            raise ValueError("ttft_budget_s must be > 0")
+        if not 0.0 < self.exit_fraction < 1.0:
+            raise ValueError("exit_fraction must be in (0, 1)")
+        if not 0.0 < self.top_k_scale < 1.0:
+            raise ValueError("top_k_scale must be in (0, 1)")
+        if self.threshold_bump < 1:
+            raise ValueError("threshold_bump must be >= 1")
+        if self.admit_per_step < 1:
+            raise ValueError("admit_per_step must be >= 1")
+        if self.shed_to_depth is not None and self.shed_to_depth < 1:
+            raise ValueError("shed_to_depth must be >= 1")
+
+
 @dataclasses.dataclass(frozen=True)
 class SloPolicy:
     """Scheduling knobs, all expressed against serving objectives.
@@ -103,6 +187,9 @@ class SloPolicy:
     admission_headroom_blocks: int = 0
     shed_after_consecutive_degraded: int = 4
     tenant_classes: Tuple[TenantClass, ...] = ()
+    #: overload brownout ladder; ``None`` (the default) disables it and
+    #: keeps scheduling bit-identical to the pre-brownout policy.
+    brownout: Optional[BrownoutPolicy] = None
 
     def tenant_class(self, name: str) -> Optional[TenantClass]:
         for cls in self.tenant_classes:
@@ -256,6 +343,9 @@ class ContinuousBatchScheduler:
         self.running: List[ServeRequest] = []   # PREFILL or DECODE
         self.finished: List[ServeRequest] = []
         self.preemptions = 0
+        #: current brownout ladder stage (0 = normal service).
+        self.brownout_stage = 0
+        self.brownout_transitions = 0
         #: optional relocation hook: offered every preemption victim;
         #: returning ``True`` claims the request (a fleet router moving
         #: it to another worker) so it is *not* re-queued locally.
@@ -341,7 +431,15 @@ class ContinuousBatchScheduler:
         admitted = []
         reserved = self._reserved_blocks()
         blocked: set = set()
+        # Brownout admission-rate control: while any ladder stage is
+        # active, pace admissions so the running batch drains ahead of
+        # fresh load (sheds and timeouts above still process normally).
+        admit_cap = None
+        if policy.brownout is not None and self.brownout_stage >= 1:
+            admit_cap = policy.brownout.admit_per_step
         while True:
+            if admit_cap is not None and len(admitted) >= admit_cap:
+                break
             active = [t for t, q in self._queues.items()
                       if q and t not in blocked]
             if not active:
@@ -386,6 +484,98 @@ class ContinuousBatchScheduler:
         request.events.rejected = True
         request.events.shed = True
         self.finished.append(request)
+
+    # -- overload brownout ----------------------------------------------------
+
+    def update_brownout(self, now: float) -> int:
+        """Re-evaluate the brownout ladder stage; returns the new stage.
+
+        Escalation is immediate to whatever stage the queue-depth and
+        head-of-queue-wait signals demand; de-escalation is one stage per
+        pass and only when both signals sit below ``exit_fraction`` of
+        the current stage's entry point (hysteresis, so the ladder does
+        not chatter around a threshold).  At stage 4 the youngest queued
+        requests beyond the shed depth are rejected — by then stages 1-3
+        have already cheapened service as far as it goes.
+        """
+        policy = self.policy.brownout
+        if policy is None:
+            return 0
+        queued = self.queued
+        depth = len(queued)
+        wait = (now - queued[0].arrival_s) if queued else 0.0
+        target = 0
+        for i, high in enumerate(policy.queue_high):
+            if depth >= high:
+                target = i + 1
+        if policy.ttft_budget_s is not None:
+            for i, fraction in enumerate(policy.budget_fractions):
+                if wait >= fraction * policy.ttft_budget_s:
+                    target = max(target, i + 1)
+        stage = self.brownout_stage
+        if target > stage:
+            stage = target
+        elif target < stage:
+            depth_exit = policy.exit_fraction * policy.queue_high[stage - 1]
+            wait_exit = None if policy.ttft_budget_s is None else (
+                policy.exit_fraction * policy.budget_fractions[stage - 1]
+                * policy.ttft_budget_s)
+            if depth <= depth_exit \
+                    and (wait_exit is None or wait <= wait_exit):
+                stage -= 1
+        if stage != self.brownout_stage:
+            self.brownout_stage = stage
+            self.brownout_transitions += 1
+            self._count("serve.brownout.transitions")
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.gauge("serve.brownout.stage").set(stage)
+        if stage >= 4:
+            cap = policy.shed_to_depth if policy.shed_to_depth is not None \
+                else policy.queue_high[-1]
+            excess = len(queued) - cap
+            for victim in queued[len(queued) - excess:] if excess > 0 \
+                    else ():
+                self._queues[victim.tenant].remove(victim)
+                self._reject(victim, "brownout")
+        return stage
+
+    def note_brownout(self, request: ServeRequest, stage: int) -> None:
+        """Attribute one emitted token to a brownout ladder stage.
+
+        Mirrors the offload degradation log: every token served below
+        full quality is recorded per request and per stage, so brownout
+        output remains attributable after the fact.
+        """
+        events = request.events
+        events.brownout_tokens[stage] = \
+            events.brownout_tokens.get(stage, 0) + 1
+        self._count("serve.brownout.stage_tokens")
+        self._count(f"serve.brownout.stage{stage}_tokens")
+
+    # -- failover drain (fleet router) ----------------------------------------
+
+    def detach(self, request: ServeRequest) -> None:
+        """Detach a running session for relocation: blocks freed, state
+        QUEUED, generated tokens kept — the preemption mechanics without
+        the preemption accounting (used by cross-worker failover, where
+        the move is the router's doing, not a capacity decision)."""
+        self.running.remove(request)
+        if request.cache is not None:
+            request.cache.free()
+            request.cache = None
+        request.backend = None
+        request.state = RequestState.QUEUED
+        request.prefilled = 0
+        request.prefill_charge_s = 0.0
+        request.ready_s = 0.0
+
+    def drain_queued(self) -> List[ServeRequest]:
+        """Pop every queued request (arrival order) for relocation."""
+        drained = self.queued
+        for queue in self._queues.values():
+            queue.clear()
+        return drained
 
     # -- step assembly --------------------------------------------------------
 

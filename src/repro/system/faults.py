@@ -53,6 +53,12 @@ FAULT_KINDS = ("queue_full", "response_buffer", "cxl_timeout", "cxl_degraded",
 CRASH_KINDS = ("kill_after_fsync", "kill_before_fsync", "torn_snapshot",
                "stale_wal")
 
+#: Gray-failure kinds a :class:`GrayFailurePlan` can inject into a fleet
+#: worker (consumed by :class:`repro.fleet.resilience.GrayRun`).  Unlike
+#: crashes, a gray worker keeps *responding* — just slowly, not at all,
+#: or intermittently — which is exactly what a liveness check misses.
+GRAY_KINDS = ("slow_worker", "stuck_worker", "flapping_worker")
+
 
 @dataclasses.dataclass(frozen=True)
 class CrashPlan:
@@ -90,6 +96,68 @@ class CrashPlan:
                              f"(one of {CRASH_KINDS})")
         if not 0.0 < self.torn_fraction < 1.0:
             raise ValueError("torn_fraction must be in (0, 1)")
+
+
+@dataclasses.dataclass(frozen=True)
+class GrayFailurePlan:
+    """Deterministic gray-failure schedule for one fleet worker.
+
+    Like :class:`CrashPlan`, everything is pinned to exact worker-step
+    indices so any faulted fleet run is bit-reproducible.  Stalls are
+    *simulated*: the wrapped run reports the stall seconds to the
+    router's bounded-wait guard instead of sleeping, so tests stay fast
+    and deterministic while exercising the same detection path.
+
+    - ``slow_worker``: every step from ``start_step`` takes an extra
+      ``stall_s`` simulated seconds (degraded host, thermal throttle,
+      noisy neighbor).
+    - ``stuck_worker``: from ``start_step`` the worker stops making any
+      progress — steps return without doing work and report an infinite
+      stall (wedged process, deadlocked I/O).
+    - ``flapping_worker``: alternates ``period`` faulty steps (stalling
+      ``stall_s``) with ``period`` healthy steps (intermittent link,
+      GC-pause storms) — the classifier must not flap a worker straight
+      to failed on one bad sample.
+    """
+
+    kind: str = "slow_worker"
+    #: first (1-based) worker step the fault affects.
+    start_step: int = 1
+    #: simulated extra seconds per faulty step (ignored by stuck_worker,
+    #: which always reports an infinite stall).
+    stall_s: float = 2.0
+    #: flapping half-period in steps (faulty for ``period``, then healthy
+    #: for ``period``, repeating).
+    period: int = 4
+    #: step at which the fault clears for good; ``None`` = never.
+    stop_step: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in GRAY_KINDS:
+            raise ValueError(f"unknown gray-failure kind: {self.kind!r} "
+                             f"(one of {GRAY_KINDS})")
+        if self.start_step < 1:
+            raise ValueError("start_step must be >= 1")
+        if self.stall_s <= 0.0:
+            raise ValueError("stall_s must be > 0")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if self.stop_step is not None and self.stop_step <= self.start_step:
+            raise ValueError("stop_step must be > start_step")
+
+    def stall_at(self, step: int) -> float:
+        """Simulated stall seconds injected at (1-based) worker ``step``;
+        ``inf`` means the step makes no progress at all."""
+        if step < self.start_step:
+            return 0.0
+        if self.stop_step is not None and step >= self.stop_step:
+            return 0.0
+        if self.kind == "stuck_worker":
+            return float("inf")
+        if self.kind == "flapping_worker":
+            phase = (step - self.start_step) // self.period
+            return self.stall_s if phase % 2 == 0 else 0.0
+        return self.stall_s
 
 
 @dataclasses.dataclass(frozen=True)

@@ -20,7 +20,8 @@ def test_registry_covers_known_artifacts():
     names = {spec.result_name for spec in REGISTRY.values()}
     assert names == {"BENCH_attention.json", "BENCH_chaos.json",
                      "BENCH_serve.json", "BENCH_fleet.json",
-                     "BENCH_obs.json", "BENCH_recovery.json"}
+                     "BENCH_obs.json", "BENCH_recovery.json",
+                     "BENCH_fleet_chaos.json"}
 
 
 @pytest.mark.parametrize("bench_tag", sorted(REGISTRY))

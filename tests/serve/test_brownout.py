@@ -1,0 +1,185 @@
+"""Overload brownout ladder: staged degradation before shedding.
+
+Scheduler-level tests drive :meth:`update_brownout` directly with
+synthetic queues; engine-level tests check the per-token attribution
+invariant (every token served below full quality names its stage) and
+the no-ladder bit-identity guarantee (a configured-but-idle ladder
+changes nothing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LongSightConfig
+from repro.core.hybrid import LongSightAttention
+from repro.llm.model import Transformer
+from repro.obs import MetricsRegistry, Obs, Tracer
+from repro.serve.engine import ServeEngine
+from repro.serve.paged_kv import PagedKVPool
+from repro.serve.scheduler import (BROWNOUT_STAGES, BrownoutPolicy,
+                                   ContinuousBatchScheduler, ServeRequest,
+                                   SloPolicy)
+from tests.conftest import TINY
+
+LS = LongSightConfig(window=8, n_sink=4, top_k=12, thresholds=3)
+
+
+def _request(i, prompt_tokens=8, max_new=4, arrival=0.0):
+    return ServeRequest(request_id=i,
+                        prompt=np.zeros(prompt_tokens, dtype=np.int64),
+                        max_new_tokens=max_new, arrival_s=arrival)
+
+
+def _scheduler(brownout, n_blocks=8, block_tokens=4, **policy):
+    pool = PagedKVPool(TINY, n_blocks=n_blocks, block_tokens=block_tokens)
+    return ContinuousBatchScheduler(
+        pool, SloPolicy(brownout=brownout, **policy))
+
+
+def _queue(sched, n, arrival=0.0):
+    for i in range(n):
+        sched.submit(_request(100 + i, arrival=arrival + i * 1e-3))
+
+
+class TestPolicyValidation:
+    def test_stage_names_cover_the_ladder(self):
+        assert BROWNOUT_STAGES == ("normal", "shrink_topk",
+                                   "raise_threshold", "dense_pin", "shed")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(queue_high=(6, 10, 14)),            # not four stages
+        dict(queue_high=(6, 6, 14, 18)),         # not increasing
+        dict(budget_fractions=(0.5, 0.25, 0.75, 1.0)),
+        dict(exit_fraction=1.0),
+        dict(top_k_scale=0.0),
+        dict(admit_per_step=0),
+        dict(shed_to_depth=0),
+    ])
+    def test_invalid_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            BrownoutPolicy(**kwargs)
+
+
+class TestLadderTransitions:
+    def test_escalation_is_immediate(self):
+        sched = _scheduler(BrownoutPolicy(queue_high=(2, 4, 6, 8)))
+        _queue(sched, 6)
+        assert sched.update_brownout(now=0.1) == 3
+        assert sched.brownout_transitions == 1
+
+    def test_deescalation_is_one_stage_with_hysteresis(self):
+        sched = _scheduler(BrownoutPolicy(queue_high=(2, 4, 6, 8),
+                                          exit_fraction=0.5))
+        _queue(sched, 6)
+        assert sched.update_brownout(now=0.1) == 3
+        # Drain below the *current* stage's entry point: not enough —
+        # exit needs depth <= exit_fraction * entry (hysteresis against
+        # chatter around the threshold).
+        sched._queues["default"] = sched._queues["default"][:4]
+        assert sched.update_brownout(now=0.2) == 3  # 4 > 0.5 * 6
+        sched._queues["default"] = sched._queues["default"][:3]
+        assert sched.update_brownout(now=0.3) == 2  # one stage down
+        assert sched.update_brownout(now=0.4) == 2  # 3 > 0.5 * 4
+        sched._queues["default"] = []
+        # Even an empty queue steps down one stage per pass.
+        assert sched.update_brownout(now=0.5) == 1
+        assert sched.update_brownout(now=0.6) == 0
+
+    def test_head_wait_signal_escalates(self):
+        sched = _scheduler(BrownoutPolicy(
+            queue_high=(50, 60, 70, 80), ttft_budget_s=1.0,
+            budget_fractions=(0.25, 0.5, 0.75, 1.0)))
+        _queue(sched, 1, arrival=0.0)
+        assert sched.update_brownout(now=0.6) == 2    # wait 0.6 >= 0.5
+        assert sched.update_brownout(now=1.1) == 4    # budget blown
+
+    def test_stage4_sheds_youngest_beyond_depth(self):
+        sched = _scheduler(BrownoutPolicy(queue_high=(1, 2, 3, 4),
+                                          shed_to_depth=2))
+        _queue(sched, 6)
+        assert sched.update_brownout(now=0.1) == 4
+        kept = [r.request_id for r in sched.queued]
+        assert kept == [100, 101]  # oldest kept, youngest shed
+        shed = [r.request_id for r in sched.finished]
+        assert sorted(shed) == [102, 103, 104, 105]
+        assert all(r.events.shed and r.events.rejected
+                   for r in sched.finished)
+        assert sched.obs.metrics.counter("serve.shed.brownout").value == 4
+
+    def test_admission_paced_while_browned_out(self):
+        sched = _scheduler(BrownoutPolicy(queue_high=(2, 10, 11, 12),
+                                          admit_per_step=1),
+                           n_blocks=16)
+        _queue(sched, 4)
+        sched.update_brownout(now=0.1)
+        assert sched.brownout_stage == 1
+        assert len(sched.admit(now=0.1)) == 1  # paced, capacity for more
+        sched.brownout_stage = 0
+        assert len(sched.admit(now=0.1)) == 3  # normal admission
+
+    def test_no_policy_is_always_stage_zero(self):
+        sched = _scheduler(None)
+        _queue(sched, 20)
+        assert sched.update_brownout(now=5.0) == 0
+        assert sched.brownout_transitions == 0
+
+
+class TestEngineAttribution:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return Transformer(TINY, seed=0)
+
+    def _run(self, model, brownout, n_requests=6, max_new=6):
+        rng = np.random.default_rng(3)
+        obs = Obs(MetricsRegistry(enabled=True), Tracer(enabled=False))
+        pool = PagedKVPool(TINY, n_blocks=64, block_tokens=16, obs=obs)
+        engine = ServeEngine(
+            model, pool, lambda r: LongSightAttention(LS),
+            policy=SloPolicy(max_decode_batch=2, brownout=brownout),
+            obs=obs)
+        requests = [ServeRequest(
+            request_id=i,
+            prompt=rng.integers(0, TINY.vocab_size, size=12),
+            max_new_tokens=max_new, arrival_s=0.0)
+            for i in range(n_requests)]
+        report = engine.run(requests)
+        return report, requests, engine
+
+    def test_idle_ladder_is_bit_identical_to_no_ladder(self, model):
+        # Entry points no burst of 6 can reach: the configured ladder
+        # must never engage, and outputs must match a ladder-free run.
+        lazy = BrownoutPolicy(queue_high=(50, 60, 70, 80))
+        _, plain, _ = self._run(model, None)
+        report, laddered, _ = self._run(model, lazy)
+        assert [r.outputs for r in laddered] == [r.outputs for r in plain]
+        assert report.brownout_tokens == 0
+        assert report.as_dict()["brownout"]["stage_tokens"] == {}
+
+    def test_every_degraded_token_names_its_stage(self, model):
+        # Aggressive ladder: stages engage while the queue drains; the
+        # per-request attribution must sum to the report-level count and
+        # only name real ladder stages.
+        eager = BrownoutPolicy(queue_high=(1, 2, 3, 50),
+                               admit_per_step=1)
+        report, requests, engine = self._run(model, eager, n_requests=8)
+        assert report.brownout_tokens > 0
+        per_request = sum(r.events.brownout_token_total for r in requests)
+        assert per_request == report.brownout_tokens
+        for stage in report.brownout_stage_tokens:
+            assert 1 <= stage <= 3  # stage 4 sheds, it never serves
+        stage_sum = sum(report.brownout_stage_tokens.values())
+        assert stage_sum == report.brownout_tokens
+        counted = engine.obs.metrics.counter(
+            "serve.brownout.stage_tokens").value
+        assert counted == report.brownout_tokens
+
+    def test_browned_tokens_counted_in_registry_per_stage(self, model):
+        eager = BrownoutPolicy(queue_high=(1, 2, 3, 50),
+                               admit_per_step=1)
+        report, _, engine = self._run(model, eager, n_requests=8)
+        metrics = engine.obs.metrics
+        per_stage = {
+            stage: metrics.counter(
+                f"serve.brownout.stage{stage}_tokens").value
+            for stage in report.brownout_stage_tokens}
+        assert per_stage == report.brownout_stage_tokens
